@@ -1,0 +1,62 @@
+// Command benchmark runs the experiment harness: every experiment and
+// ablation from DESIGN.md's per-experiment index, printed as tables. The
+// output of a full run is the source for EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchmark                  # run everything at full scale
+//	benchmark -run E5          # run one experiment
+//	benchmark -scale 0.2       # reduced scale (faster)
+//	benchmark -list            # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchmark:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		runID = flag.String("run", "", "run only the experiment with this ID (e.g. E5)")
+		scale = flag.Float64("scale", 1.0, "workload scale factor (0 < scale <= 1)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	if *scale <= 0 || *scale > 1 {
+		return fmt.Errorf("scale %v out of (0, 1]", *scale)
+	}
+	entries := experiments.All()
+	if *runID != "" {
+		entry, err := experiments.Find(*runID)
+		if err != nil {
+			return err
+		}
+		entries = []experiments.Entry{entry}
+	}
+	for _, e := range entries {
+		table, err := e.Run(experiments.Scale(*scale))
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if err := table.Write(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

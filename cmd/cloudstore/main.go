@@ -1,0 +1,58 @@
+// Command cloudstore runs the simulated cloud key-value store used by the
+// enhanced data store client (paper §3 and [11]). Latency injection makes
+// remote conditions reproducible.
+//
+// Usage:
+//
+//	cloudstore -addr :8090 -latency 20ms
+//
+// Endpoints: PUT/GET/DELETE /kv/{key}, GET /keys.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/kvstore"
+	"repro/internal/remotestore"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudstore:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", ":8090", "listen address")
+		latency = flag.Duration("latency", 0, "injected per-request latency")
+		file    = flag.String("file", "", "persist to this file (empty = in-memory)")
+	)
+	flag.Parse()
+
+	var store kvstore.Store
+	if *file != "" {
+		f, err := kvstore.OpenFile(*file)
+		if err != nil {
+			return err
+		}
+		store = f
+	} else {
+		store = kvstore.NewMemory()
+	}
+	srv := remotestore.NewServer(store)
+	srv.SetLatency(*latency)
+	log.Printf("cloud store listening on %s (latency %v, file %q)", *addr, *latency, *file)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return hs.ListenAndServe()
+}

@@ -1,0 +1,225 @@
+// Command kbshell is an interactive shell over the personalized knowledge
+// base (paper §3): ingest CSV files, run SQL, enter facts, run SPARQL-like
+// queries, infer new facts, disambiguate entities, spell-check text, and
+// run regressions — the paper's Figure 5 loop at a prompt.
+//
+// Usage:
+//
+//	kbshell [-dir DIR] [-passphrase P] [-compress]
+//
+// Commands (type "help" at the prompt):
+//
+//	ingest <table> <file.csv>       load a CSV file
+//	sql <statement>                 run SQL
+//	fact <subj> <pred> <obj...>     add an RDF fact
+//	query <sparql>                  SELECT ?x WHERE { ... }
+//	infer                           forward-chain all reasoners
+//	resolve <surface...>            disambiguate an entity name
+//	canon <table> <column>          canonicalize a column in place
+//	spell <text...>                 spell-check text
+//	regress <table> <x> <y>         fit y = a + b*x
+//	analyze <table> <x> <y> <at>    regression -> RDF facts -> inferable
+//	tables                          list tables
+//	export <table>                  write <table>.csv into the KB dir
+//	quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"flag"
+
+	"repro/internal/kb"
+	"repro/internal/rdbms"
+)
+
+func main() {
+	var (
+		dir        = flag.String("dir", "kbdata", "knowledge base directory")
+		passphrase = flag.String("passphrase", "", "encrypt persisted payloads")
+		compress   = flag.Bool("compress", false, "compress persisted payloads")
+	)
+	flag.Parse()
+	base, err := kb.New(kb.Config{Dir: *dir, Passphrase: *passphrase, Compress: *compress})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kbshell:", err)
+		os.Exit(1)
+	}
+	fmt.Println("personalized knowledge base shell — type 'help'")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("kb> ")
+		if !scanner.Scan() {
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if err := dispatch(base, line); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+func dispatch(base *kb.KB, line string) error {
+	cmd, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch cmd {
+	case "help":
+		fmt.Println("commands: ingest sql fact query infer resolve canon spell regress analyze tables export quit")
+		return nil
+	case "ingest":
+		table, file, ok := strings.Cut(rest, " ")
+		if !ok {
+			return fmt.Errorf("usage: ingest <table> <file.csv>")
+		}
+		t, err := base.IngestCSVFile(table, strings.TrimSpace(file))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d rows into %s\n", t.Len(), table)
+		return nil
+	case "sql":
+		rs, err := base.SQL(rest)
+		if err != nil {
+			return err
+		}
+		printResult(rs)
+		return nil
+	case "fact":
+		fields := strings.Fields(rest)
+		if len(fields) < 3 {
+			return fmt.Errorf("usage: fact <subject> <predicate> <object...>")
+		}
+		return base.AddFact(fields[0], fields[1], strings.Join(fields[2:], " "))
+	case "query":
+		res, err := base.Query(rest)
+		if err != nil {
+			return err
+		}
+		fmt.Println(strings.Join(res.Vars, "\t"))
+		for _, row := range res.Rows {
+			parts := make([]string, len(row))
+			for i, t := range row {
+				parts[i] = t.Value
+			}
+			fmt.Println(strings.Join(parts, "\t"))
+		}
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+		return nil
+	case "infer":
+		n, err := base.Infer()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("derived %d new facts (%d total)\n", n, base.Graph().Len())
+		return nil
+	case "resolve":
+		r, ok := base.Disambiguate(rest)
+		if !ok {
+			fmt.Println("unresolved")
+			return nil
+		}
+		fmt.Printf("%s (%s, kind %s)\n", r.EntityID, r.Name, r.Kind)
+		for _, link := range []string{r.Website, r.DBpedia, r.Yago} {
+			if link != "" {
+				fmt.Println(" ", link)
+			}
+		}
+		return nil
+	case "canon":
+		table, col, ok := strings.Cut(rest, " ")
+		if !ok {
+			return fmt.Errorf("usage: canon <table> <column>")
+		}
+		resolved, unresolved, err := base.CanonicalizeColumn(table, strings.TrimSpace(col))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("resolved %d surface forms, %d left as-is\n", resolved, unresolved)
+		return nil
+	case "spell":
+		corrs := base.SpellCheck(rest)
+		if len(corrs) == 0 {
+			fmt.Println("no issues")
+			return nil
+		}
+		for _, c := range corrs {
+			if c.Suggestion != "" {
+				fmt.Printf("%s -> %s\n", c.Word, c.Suggestion)
+			} else {
+				fmt.Printf("%s (no suggestion)\n", c.Word)
+			}
+		}
+		return nil
+	case "regress":
+		fields := strings.Fields(rest)
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: regress <table> <xcol> <ycol>")
+		}
+		m, err := base.Regress(fields[0], fields[1], fields[2])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s = %.4f + %.4f*%s  (R2 %.3f, n %d)\n", fields[2], m.Intercept, m.Slope, fields[1], m.R2, m.N)
+		return nil
+	case "analyze":
+		fields := strings.Fields(rest)
+		if len(fields) != 4 {
+			return fmt.Errorf("usage: analyze <table> <xcol> <ycol> <predict-at>")
+		}
+		at, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return fmt.Errorf("bad predict-at %q: %w", fields[3], err)
+		}
+		m, err := base.AnalyzeAndStore(fields[0], fields[1], fields[2], "kb:", []float64{at})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("stored analysis facts; predicted %s(%v) = %.4f\n", fields[2], at, m.Predict(at))
+		return nil
+	case "tables":
+		for _, n := range base.DB().Names() {
+			t, err := base.DB().Table(n)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s (%d rows)\n", n, t.Len())
+		}
+		return nil
+	case "export":
+		path, err := base.ExportTableCSV(rest)
+		if err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try 'help')", cmd)
+	}
+}
+
+func printResult(rs rdbms.ResultSet) {
+	if len(rs.Columns) == 0 {
+		fmt.Println("ok")
+		return
+	}
+	fmt.Println(strings.Join(rs.Columns, "\t"))
+	for _, row := range rs.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+	}
+	fmt.Printf("(%d rows)\n", len(rs.Rows))
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/kb"
+)
+
+func shellKB(t *testing.T) *kb.KB {
+	t.Helper()
+	base, err := kb.New(kb.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+func TestDispatchFullSession(t *testing.T) {
+	base := shellKB(t)
+	csvPath := filepath.Join(t.TempDir(), "sales.csv")
+	csv := "country,year,revenue\nUSA,2024,100\nAmerica,2025,120\nGermany,2024,80\n"
+	if err := os.WriteFile(csvPath, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A realistic session, command by command.
+	session := []string{
+		"help",
+		"ingest sales " + csvPath,
+		"sql SELECT COUNT(*) FROM sales",
+		"canon sales country",
+		"sql SELECT country, COUNT(*) FROM sales GROUP BY country",
+		"fact kb:acme kb:locatedIn country:us",
+		"query SELECT ?w WHERE { <kb:acme> <kb:locatedIn> ?w }",
+		"infer",
+		"resolve United States of America",
+		"spell the markte improved",
+		"regress sales year revenue",
+		"analyze sales year revenue 2026",
+		"tables",
+		"export sales",
+	}
+	for _, line := range session {
+		if err := dispatch(base, line); err != nil {
+			t.Fatalf("dispatch(%q): %v", line, err)
+		}
+	}
+	// The session's effects are real: canonicalized countries, stored
+	// facts, regression facts.
+	rs, err := base.SQL("SELECT COUNT(*) FROM sales WHERE country = 'country:us'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].Int != 2 {
+		t.Errorf("canonicalized US rows = %v, want 2", rs.Rows[0][0])
+	}
+	res, err := base.Query("SELECT ?a WHERE { ?a <kb:trend> \"increasing\" }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("analyze did not store trend facts: %v", res.Rows)
+	}
+}
+
+func TestDispatchErrors(t *testing.T) {
+	base := shellKB(t)
+	bad := []string{
+		"frobnicate",
+		"ingest onlytable",
+		"ingest t /nonexistent/file.csv",
+		"sql SELEC nope",
+		"fact too few",
+		"query SELECT bad syntax",
+		"canon missingcolumn",
+		"regress t x",
+		"analyze t x y notanumber",
+		"export ghost-table",
+	}
+	for _, line := range bad {
+		if err := dispatch(base, line); err == nil {
+			t.Errorf("dispatch(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestDispatchResolveUnknownIsNotError(t *testing.T) {
+	base := shellKB(t)
+	if err := dispatch(base, "resolve Atlantis"); err != nil {
+		t.Errorf("unresolved entity should print, not error: %v", err)
+	}
+	if err := dispatch(base, "spell all good words here"); err != nil {
+		t.Errorf("clean spell check errored: %v", err)
+	}
+}
+
+func TestDispatchHandlesQuotedStrings(t *testing.T) {
+	base := shellKB(t)
+	if err := dispatch(base, "sql CREATE TABLE q (s TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dispatch(base, "sql INSERT INTO q (s) VALUES ('it''s fine')"); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := base.SQL("SELECT s FROM q")
+	if err != nil || !strings.Contains(rs.Rows[0][0].Text, "it's") {
+		t.Errorf("quoted insert = %+v, %v", rs, err)
+	}
+}

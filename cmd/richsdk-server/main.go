@@ -1,0 +1,151 @@
+// Command richsdk-server runs the rich SDK behind its HTTP façade so that
+// applications written in any language can use it (paper §2). It registers
+// the built-in simulated cognitive services — three NLU engines, three
+// search engines over a generated web corpus, and a spell checker — and
+// serves the SDK API.
+//
+// Usage:
+//
+//	richsdk-server -addr :8080 -corpus-docs 500 -seed 42
+//
+// Endpoints (JSON): POST /v1/invoke, /v1/invoke-category, /v1/invoke-all,
+// /v1/rank; GET /v1/services, /v1/stats, /v1/cache/stats;
+// POST /v1/cache/invalidate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lexicon"
+	"repro/internal/nlu"
+	"repro/internal/search"
+	"repro/internal/service"
+	"repro/internal/simsvc"
+	"repro/internal/spell"
+	"repro/internal/vision"
+	"repro/internal/webcorpus"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "richsdk-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		corpusDocs = flag.Int("corpus-docs", 500, "synthetic web corpus size")
+		seed       = flag.Int64("seed", 42, "corpus generation seed")
+		cacheTTL   = flag.Duration("cache-ttl", 5*time.Minute, "response cache TTL")
+	)
+	flag.Parse()
+
+	client, err := core.NewClient(core.Config{CacheTTL: *cacheTTL})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	if err := registerBuiltins(client, *corpusDocs, *seed); err != nil {
+		return err
+	}
+
+	log.Printf("rich SDK HTTP facade listening on %s (%d services registered)",
+		*addr, len(client.Registry().Names()))
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           core.NewAPI(client),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.ListenAndServe()
+}
+
+// registerBuiltins wires the simulated cognitive services into the SDK with
+// realistic latency, cost, and quality profiles.
+func registerBuiltins(client *core.Client, corpusDocs int, seed int64) error {
+	// Three NLU vendors with different latency/cost/quality trade-offs.
+	nluProfiles := []struct {
+		profile nlu.Profile
+		latency simsvc.LatencyModel
+		cost    float64
+	}{
+		{nlu.ProfileAlpha, simsvc.Lognormal{Median: 80 * time.Millisecond, Sigma: 0.3}, 0.003},
+		{nlu.ProfileBeta, simsvc.Lognormal{Median: 40 * time.Millisecond, Sigma: 0.3}, 0.002},
+		{nlu.ProfileGamma, simsvc.Lognormal{Median: 15 * time.Millisecond, Sigma: 0.4}, 0.0005},
+	}
+	for i, p := range nluProfiles {
+		engine := nlu.NewEngine(p.profile)
+		info := service.Info{Name: p.profile.Name, Category: "nlu", CostPerCall: p.cost}
+		backend := engine.Service(info)
+		sim := simsvc.New(simsvc.Config{
+			Info:    info,
+			Latency: p.latency,
+			Seed:    seed + int64(i),
+			Handler: backend.Invoke,
+		})
+		if err := client.Register(sim, core.WithCacheable()); err != nil {
+			return err
+		}
+	}
+	// Three search engines over one generated web corpus.
+	corpus := webcorpus.Generate(webcorpus.Config{Seed: seed, NumDocs: corpusDocs})
+	index := search.BuildIndex(corpus)
+	searchEngines := []struct {
+		name   string
+		params search.Params
+		lat    time.Duration
+	}{
+		{"search-g", search.TuningG, 30 * time.Millisecond},
+		{"search-b", search.TuningB, 45 * time.Millisecond},
+		{"search-y", search.TuningY, 60 * time.Millisecond},
+	}
+	for i, se := range searchEngines {
+		engine := search.NewEngine(se.name, index, se.params)
+		info := service.Info{Name: se.name, Category: "search", CostPerCall: 0.001}
+		sim := simsvc.New(simsvc.Config{
+			Info:    info,
+			Latency: simsvc.Lognormal{Median: se.lat, Sigma: 0.25},
+			Seed:    seed + 100 + int64(i),
+			Handler: engine.Service(info).Invoke,
+		})
+		if err := client.Register(sim, core.WithCacheable()); err != nil {
+			return err
+		}
+	}
+	// A spell-check service.
+	checker := spell.NewChecker(lexicon.Dictionary(), nil)
+	spellInfo := service.Info{Name: "spell", Category: "spell"}
+	if err := client.Register(checker.Service(spellInfo), core.WithCacheable()); err != nil {
+		return err
+	}
+	// Two visual-recognition vendors.
+	visionProfiles := []struct {
+		profile vision.Profile
+		lat     time.Duration
+		cost    float64
+	}{
+		{vision.ProfileSharp, 120 * time.Millisecond, 0.006},
+		{vision.ProfileFast, 35 * time.Millisecond, 0.001},
+	}
+	for i, vp := range visionProfiles {
+		engine := vision.NewEngine(vp.profile)
+		info := service.Info{Name: vp.profile.Name, Category: "vision", CostPerCall: vp.cost}
+		sim := simsvc.New(simsvc.Config{
+			Info:    info,
+			Latency: simsvc.Lognormal{Median: vp.lat, Sigma: 0.3},
+			Seed:    seed + 200 + int64(i),
+			Handler: engine.Service(info).Invoke,
+		})
+		if err := client.Register(sim, core.WithCacheable()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

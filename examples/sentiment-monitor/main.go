@@ -1,0 +1,172 @@
+// Sentiment monitor: the paper's motivating analytics workload — "we have
+// been using the rich SDK to determine how favorably people, companies, and
+// other entities are represented on the Web" (§2.2).
+//
+// The pipeline: search the (synthetic) web for a topic, fetch each result's
+// HTML over real local HTTP, extract text, analyze every document with an
+// NLU service, and aggregate per-entity sentiment across all documents. The
+// fetched documents and the query are persisted with a timestamp so the
+// analysis can be re-run later without re-fetching (§2.2).
+//
+//	go run ./examples/sentiment-monitor
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+
+	"repro/internal/aggregate"
+	"repro/internal/docstore"
+	"repro/internal/lexicon"
+	"repro/internal/nlu"
+	"repro/internal/search"
+	"repro/internal/webcorpus"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A synthetic web served over real HTTP.
+	corpus := webcorpus.Generate(webcorpus.Config{Seed: 2026, NumDocs: 300})
+	web := httptest.NewServer(corpus.Handler())
+	defer web.Close()
+
+	// A search engine over that web.
+	index := search.BuildIndex(corpus)
+	engine := search.NewEngine("search-g", index, search.TuningG)
+
+	query := "market growth technology company"
+	results := engine.Search(query, search.Options{Limit: 25})
+	fmt.Printf("query %q returned %d documents\n", query, len(results))
+
+	// Fetch every hit's HTML over HTTP and extract analyzable text.
+	var saved []docstore.SavedDoc
+	for _, r := range results {
+		// The corpus URLs use a placeholder host; fetch via the test
+		// server by document ID.
+		page, err := fetch(web.URL + "/docs/" + r.DocID)
+		if err != nil {
+			return fmt.Errorf("fetch %s: %w", r.DocID, err)
+		}
+		saved = append(saved, docstore.SavedDoc{
+			URL:   r.URL,
+			Title: r.Title,
+			HTML:  page,
+			Text:  webcorpus.ExtractText(page),
+		})
+	}
+
+	// Persist the search snapshot: query + time + all documents.
+	dir, err := os.MkdirTemp("", "sentiment-monitor-*")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	store, err := docstore.New(dir, nil)
+	if err != nil {
+		return err
+	}
+	searchID, err := store.SaveSearch(query, engine.Name(), saved)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("saved search snapshot %s (%d documents)\n", searchID, len(saved))
+
+	// Analyze every document (once — results are persisted too).
+	nluEngine := nlu.NewEngine(nlu.ProfileAlpha)
+	var analyses []nlu.Analysis
+	for _, doc := range saved {
+		a, cached, err := store.AnalyzeOnce(doc.Text, "nlu-alpha", nluEngine.Analyze)
+		if err != nil {
+			return err
+		}
+		_ = cached
+		analyses = append(analyses, a)
+	}
+
+	// Aggregate: which entities dominate the topic, and how favorably is
+	// each represented?
+	entities := aggregate.Entities(analyses)
+	sentiments := aggregate.Sentiments(analyses)
+	byID := lexicon.ByID()
+	name := func(id string) string {
+		if e, ok := byID[id]; ok {
+			return e.Name
+		}
+		return id
+	}
+
+	fmt.Println("\nmost-mentioned entities:")
+	for i, e := range entities {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  %-28s in %2d docs, %2d mentions\n", name(e.EntityID), e.Documents, e.Mentions)
+	}
+
+	// Keep only entities with enough evidence, then rank by favorability.
+	var solid []aggregate.EntitySentiment
+	for _, s := range sentiments {
+		if s.Documents >= 2 {
+			solid = append(solid, s)
+		}
+	}
+	sort.Slice(solid, func(i, j int) bool { return solid[i].MeanScore > solid[j].MeanScore })
+	fmt.Println("\nhow favorably entities are represented (mean sentiment):")
+	for _, s := range solid {
+		bar := renderBar(s.MeanScore)
+		fmt.Printf("  %-28s %+.2f %s (%d docs)\n", name(s.EntityID), s.MeanScore, bar, s.Documents)
+	}
+
+	// Top keywords across the result set (not disambiguated, per §2.2).
+	fmt.Println("\ntop keywords:")
+	for _, kw := range aggregate.Keywords(analyses, 8) {
+		fmt.Printf("  %-16s %d\n", kw.Text, kw.Count)
+	}
+	return nil
+}
+
+func fetch(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}
+
+func renderBar(score float64) string {
+	const width = 10
+	n := int((score + 1) / 2 * width)
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	bar := make([]byte, width)
+	for i := range bar {
+		if i < n {
+			bar[i] = '#'
+		} else {
+			bar[i] = '.'
+		}
+	}
+	return string(bar)
+}

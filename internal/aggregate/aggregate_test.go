@@ -1,0 +1,176 @@
+package aggregate
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/nlu"
+)
+
+func analysisWith(engine string, ids ...string) nlu.Analysis {
+	a := nlu.Analysis{Engine: engine}
+	for _, id := range ids {
+		a.Entities = append(a.Entities, nlu.Mention{EntityID: id})
+	}
+	return a
+}
+
+func TestEntitiesAggregation(t *testing.T) {
+	analyses := []nlu.Analysis{
+		analysisWith("e", "country:us", "country:us", "company:acme"),
+		analysisWith("e", "country:us"),
+		analysisWith("e", "company:acme"),
+	}
+	got := Entities(analyses)
+	want := []EntityCount{
+		{EntityID: "company:acme", Documents: 2, Mentions: 2},
+		{EntityID: "country:us", Documents: 2, Mentions: 3},
+	}
+	// us has more mentions but equal documents; sorted docs desc then
+	// mentions desc, so us first.
+	want = []EntityCount{
+		{EntityID: "country:us", Documents: 2, Mentions: 3},
+		{EntityID: "company:acme", Documents: 2, Mentions: 2},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Entities = %+v, want %+v", got, want)
+	}
+}
+
+func TestEntitiesEmpty(t *testing.T) {
+	if got := Entities(nil); len(got) != 0 {
+		t.Errorf("Entities(nil) = %v", got)
+	}
+}
+
+func TestKeywordsAggregation(t *testing.T) {
+	analyses := []nlu.Analysis{
+		{Keywords: []nlu.Keyword{{Text: "market", Count: 3}, {Text: "growth", Count: 1}}},
+		{Keywords: []nlu.Keyword{{Text: "market", Count: 2}, {Text: "policy", Count: 2}}},
+	}
+	got := Keywords(analyses, 2)
+	if len(got) != 2 || got[0].Text != "market" || got[0].Count != 5 {
+		t.Errorf("Keywords = %+v", got)
+	}
+}
+
+func TestSentimentsAggregation(t *testing.T) {
+	analyses := []nlu.Analysis{
+		{EntitySentiments: []nlu.EntitySentiment{
+			{EntityID: "company:acme", Score: 0.8, Mentions: 2},
+			{EntityID: "company:globex", Score: -0.5, Mentions: 1},
+		}},
+		{EntitySentiments: []nlu.EntitySentiment{
+			{EntityID: "company:acme", Score: 0.4, Mentions: 1},
+		}},
+	}
+	got := Sentiments(analyses)
+	if len(got) != 2 {
+		t.Fatalf("Sentiments = %+v", got)
+	}
+	if got[0].EntityID != "company:acme" || math.Abs(got[0].MeanScore-0.6) > 1e-12 {
+		t.Errorf("first = %+v, want acme 0.6", got[0])
+	}
+	if got[0].Documents != 2 || got[0].Mentions != 3 {
+		t.Errorf("acme counts = %+v", got[0])
+	}
+	if got[1].EntityID != "company:globex" || got[1].MeanScore != -0.5 {
+		t.Errorf("second = %+v", got[1])
+	}
+}
+
+func TestConsensusConfidence(t *testing.T) {
+	perService := []nlu.Analysis{
+		analysisWith("alpha", "country:us", "company:acme"),
+		analysisWith("beta", "country:us", "unknown:xyz"),
+		analysisWith("gamma", "country:us"),
+	}
+	got := Consensus(perService)
+	if len(got) != 3 {
+		t.Fatalf("Consensus = %+v", got)
+	}
+	if got[0].EntityID != "country:us" || got[0].Confidence != 1 {
+		t.Errorf("top = %+v, want country:us at confidence 1", got[0])
+	}
+	if len(got[0].Services) != 3 {
+		t.Errorf("services = %v", got[0].Services)
+	}
+	for _, c := range got[1:] {
+		if math.Abs(c.Confidence-1.0/3.0) > 1e-12 {
+			t.Errorf("singleton confidence = %v, want 1/3", c.Confidence)
+		}
+	}
+}
+
+func TestConsensusEmpty(t *testing.T) {
+	if got := Consensus(nil); got != nil {
+		t.Errorf("Consensus(nil) = %v", got)
+	}
+}
+
+func TestFilterConfident(t *testing.T) {
+	cons := []ConsensusEntity{
+		{EntityID: "a", Confidence: 1},
+		{EntityID: "b", Confidence: 0.66},
+		{EntityID: "c", Confidence: 0.33},
+	}
+	got := FilterConfident(cons, 0.5)
+	if !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("FilterConfident = %v", got)
+	}
+}
+
+func TestScorePerfect(t *testing.T) {
+	prf := Score([]string{"a", "b"}, []string{"a", "b"})
+	if prf.Precision != 1 || prf.Recall != 1 || prf.F1 != 1 {
+		t.Errorf("perfect PRF = %+v", prf)
+	}
+}
+
+func TestScoreMixed(t *testing.T) {
+	prf := Score([]string{"a", "b", "x"}, []string{"a", "b", "c"})
+	if prf.TP != 2 || prf.FP != 1 || prf.FN != 1 {
+		t.Errorf("counts = %+v", prf)
+	}
+	if math.Abs(prf.Precision-2.0/3.0) > 1e-12 || math.Abs(prf.Recall-2.0/3.0) > 1e-12 {
+		t.Errorf("PRF = %+v", prf)
+	}
+}
+
+func TestScoreEmptyPrediction(t *testing.T) {
+	prf := Score(nil, []string{"a"})
+	if prf.Precision != 0 || prf.Recall != 0 || prf.F1 != 0 || prf.FN != 1 {
+		t.Errorf("PRF = %+v", prf)
+	}
+}
+
+func TestScoreDuplicatesCollapsed(t *testing.T) {
+	prf := Score([]string{"a", "a", "a"}, []string{"a"})
+	if prf.TP != 1 || prf.FP != 0 {
+		t.Errorf("duplicates not collapsed: %+v", prf)
+	}
+}
+
+func TestKnownOnly(t *testing.T) {
+	got := KnownOnly([]string{"country:us", "unknown:blob", "company:acme"})
+	if !reflect.DeepEqual(got, []string{"country:us", "company:acme"}) {
+		t.Errorf("KnownOnly = %v", got)
+	}
+}
+
+func TestConsensusBeatsSingleNoisyService(t *testing.T) {
+	// Three services with partially overlapping errors: majority voting
+	// should outscore the noisiest single service on F1.
+	truth := []string{"e1", "e2", "e3", "e4"}
+	alpha := analysisWith("alpha", "e1", "e2", "e3")       // miss e4
+	beta := analysisWith("beta", "e1", "e2", "e4", "f1")   // miss e3, one FP
+	gamma := analysisWith("gamma", "e1", "e3", "f1", "f2") // misses, 2 FPs
+	cons := Consensus([]nlu.Analysis{alpha, beta, gamma})
+	voted := FilterConfident(cons, 0.5) // >= 2 of 3
+	votedPRF := Score(voted, truth)
+	gammaPRF := Score(gamma.EntityIDs(), truth)
+	if votedPRF.F1 <= gammaPRF.F1 {
+		t.Errorf("consensus F1 %.2f should beat noisy single %.2f", votedPRF.F1, gammaPRF.F1)
+	}
+}

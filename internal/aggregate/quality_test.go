@@ -1,0 +1,119 @@
+package aggregate
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/lexicon"
+	"repro/internal/nlu"
+	"repro/internal/webcorpus"
+)
+
+func TestRateByConsensusOrdersEnginesByQuality(t *testing.T) {
+	// No ground truth used: ratings must still rank the precise engine
+	// above the noisy one, matching the known profile quality order.
+	corpus := webcorpus.Generate(webcorpus.Config{Seed: 31, NumDocs: 60})
+	engines := []*nlu.Engine{
+		nlu.NewEngine(nlu.ProfileAlpha),
+		nlu.NewEngine(nlu.ProfileBeta),
+		nlu.NewEngine(nlu.ProfileGamma),
+	}
+	var perDoc [][]nlu.Analysis
+	for _, d := range corpus.Docs {
+		var analyses []nlu.Analysis
+		for _, e := range engines {
+			analyses = append(analyses, e.Analyze(d.Body))
+		}
+		perDoc = append(perDoc, analyses)
+	}
+	ratings := RateByConsensus(perDoc, 0.5)
+	if len(ratings) != 3 {
+		t.Fatalf("ratings = %+v", ratings)
+	}
+	byName := map[string]float64{}
+	for _, r := range ratings {
+		byName[r.Service] = r.Agreement
+		if r.Documents != 60 {
+			t.Errorf("%s rated over %d docs, want 60", r.Service, r.Documents)
+		}
+		if r.Agreement < 0 || r.Agreement > 1 {
+			t.Errorf("agreement %v out of range", r.Agreement)
+		}
+	}
+	if byName["nlu-alpha"] <= byName["nlu-gamma"] {
+		t.Errorf("alpha agreement %v should exceed gamma %v",
+			byName["nlu-alpha"], byName["nlu-gamma"])
+	}
+	// Best first.
+	if ratings[0].Agreement < ratings[len(ratings)-1].Agreement {
+		t.Error("ratings not sorted best first")
+	}
+}
+
+func TestRateByConsensusSkipsSingletons(t *testing.T) {
+	perDoc := [][]nlu.Analysis{
+		{analysisWith("only", "e1")}, // one opinion: no consensus possible
+	}
+	if got := RateByConsensus(perDoc, 0.5); len(got) != 0 {
+		t.Errorf("ratings = %+v, want none", got)
+	}
+}
+
+func TestRateByConsensusEmpty(t *testing.T) {
+	if got := RateByConsensus(nil, 0.5); len(got) != 0 {
+		t.Errorf("ratings = %+v", got)
+	}
+}
+
+func TestRateByConsensusDeterministicTieBreak(t *testing.T) {
+	mk := func(engine string) nlu.Analysis { return analysisWith(engine, "e1") }
+	perDoc := [][]nlu.Analysis{{mk("b"), mk("a")}}
+	got := RateByConsensus(perDoc, 0.5)
+	if len(got) != 2 || got[0].Service != "a" {
+		t.Errorf("tie-break order = %+v", got)
+	}
+}
+
+// Regression guard: ratings correlate with actual ground-truth F1.
+func TestConsensusRatingTracksGroundTruth(t *testing.T) {
+	// Three engines so majority consensus is meaningful (with two, any
+	// single engine's finding reaches confidence 0.5 and the "consensus"
+	// degenerates to the union).
+	corpus := webcorpus.Generate(webcorpus.Config{Seed: 77, NumDocs: 80})
+	engines := []*nlu.Engine{
+		nlu.NewEngine(nlu.ProfileAlpha),
+		nlu.NewEngine(nlu.ProfileBeta),
+		nlu.NewEngine(nlu.ProfileGamma),
+	}
+	var perDoc [][]nlu.Analysis
+	truthF1 := map[string]float64{}
+	for _, d := range corpus.Docs {
+		var analyses []nlu.Analysis
+		for _, e := range engines {
+			a := e.Analyze(d.Body)
+			analyses = append(analyses, a)
+			truthF1[a.Engine] += Score(KnownOnly(a.EntityIDs()), d.TrueEntities).F1
+		}
+		perDoc = append(perDoc, analyses)
+	}
+	ratings := RateByConsensus(perDoc, 0.5)
+	// The engine with the higher true F1 must get the higher rating.
+	var bestTruth string
+	if truthF1["nlu-alpha"] > truthF1["nlu-gamma"] {
+		bestTruth = "nlu-alpha"
+	} else {
+		bestTruth = "nlu-gamma"
+	}
+	if ratings[0].Service != bestTruth {
+		t.Errorf("consensus rating top = %s, ground truth best = %s", ratings[0].Service, bestTruth)
+	}
+}
+
+// Guard that the lexicon the engines rely on is big enough for the corpus
+// used above (keeps the test meaningful if data changes).
+func TestLexiconCoverage(t *testing.T) {
+	if len(lexicon.AllEntities()) < 50 {
+		t.Error("gazetteer shrank; consensus tests lose power")
+	}
+	_ = fmt.Sprintf
+}

@@ -1,0 +1,73 @@
+package cache
+
+import (
+	"strconv"
+	"testing"
+)
+
+func BenchmarkMemoryGetHit(b *testing.B) {
+	m := NewMemory[int](1024)
+	for i := 0; i < 1024; i++ {
+		m.Set(strconv.Itoa(i), i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Get(strconv.Itoa(i % 1024)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemoryGetMiss(b *testing.B) {
+	m := NewMemory[int](64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = m.Get("absent")
+	}
+}
+
+func BenchmarkMemorySetWithEviction(b *testing.B) {
+	m := NewMemory[int](256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Set(strconv.Itoa(i), i)
+	}
+}
+
+func BenchmarkGetOrFillHitPath(b *testing.B) {
+	m := NewMemory[int](16)
+	g := NewGroup[int]()
+	if _, _, err := GetOrFill(m, g, "k", func() (int, error) { return 1, nil }); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := GetOrFill(m, g, "k", func() (int, error) { return 1, nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemoryParallel(b *testing.B) {
+	m := NewMemory[int](1024)
+	for i := 0; i < 1024; i++ {
+		m.Set(strconv.Itoa(i), i)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			key := strconv.Itoa(i % 1024)
+			if i%8 == 0 {
+				m.Set(key, i)
+			} else {
+				_, _ = m.Get(key)
+			}
+			i++
+		}
+	})
+}

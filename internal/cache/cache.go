@@ -1,0 +1,232 @@
+// Package cache implements the rich SDK's caching substrate (paper §2):
+// responses from remote services are cached locally to avoid redundant
+// service calls, cut latency, and keep applications running when a service
+// is unreachable. It provides a bounded in-memory LRU cache with per-entry
+// TTL, request de-duplication (single-flight), and a persistent disk cache.
+package cache
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// ErrNotFound is returned by Get when the key is absent or expired.
+var ErrNotFound = errors.New("cache: not found")
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Expired   uint64 // lookups that found only an expired entry
+	Size      int    // current number of live entries
+}
+
+// HitRatio returns hits / (hits + misses), or 0 with no lookups.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Memory is a bounded in-memory LRU cache with optional per-entry TTL. It
+// is safe for concurrent use.
+type Memory[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ttl      time.Duration // default TTL; 0 means entries never expire
+	clk      clock.Clock
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	stats    Stats
+}
+
+type entry[V any] struct {
+	key     string
+	value   V
+	expires time.Time // zero means no expiry
+}
+
+// MemOption configures a Memory cache.
+type MemOption[V any] func(*Memory[V])
+
+// WithTTL sets a default time-to-live applied to every Set.
+func WithTTL[V any](ttl time.Duration) MemOption[V] {
+	return func(m *Memory[V]) { m.ttl = ttl }
+}
+
+// WithClock sets the clock used for expiry decisions.
+func WithClock[V any](c clock.Clock) MemOption[V] {
+	return func(m *Memory[V]) { m.clk = c }
+}
+
+// NewMemory returns an LRU cache holding at most capacity entries.
+// capacity must be >= 1; smaller values are clamped to 1.
+func NewMemory[V any](capacity int, opts ...MemOption[V]) *Memory[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	m := &Memory[V]{
+		capacity: capacity,
+		clk:      clock.Real(),
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Get returns the cached value for key. It returns ErrNotFound if the key
+// is absent or its entry has expired; expired entries are removed.
+func (m *Memory[V]) Get(key string) (V, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var zero V
+	el, ok := m.items[key]
+	if !ok {
+		m.stats.Misses++
+		return zero, ErrNotFound
+	}
+	en := el.Value.(*entry[V])
+	if !en.expires.IsZero() && !m.clk.Now().Before(en.expires) {
+		m.removeElement(el)
+		m.stats.Expired++
+		m.stats.Misses++
+		return zero, ErrNotFound
+	}
+	m.ll.MoveToFront(el)
+	m.stats.Hits++
+	return en.value, nil
+}
+
+// Set stores value under key with the cache's default TTL.
+func (m *Memory[V]) Set(key string, value V) {
+	m.SetTTL(key, value, m.ttl)
+}
+
+// SetTTL stores value under key with an explicit TTL; ttl <= 0 means the
+// entry never expires.
+func (m *Memory[V]) SetTTL(key string, value V, ttl time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var expires time.Time
+	if ttl > 0 {
+		expires = m.clk.Now().Add(ttl)
+	}
+	if el, ok := m.items[key]; ok {
+		en := el.Value.(*entry[V])
+		en.value = value
+		en.expires = expires
+		m.ll.MoveToFront(el)
+		return
+	}
+	el := m.ll.PushFront(&entry[V]{key: key, value: value, expires: expires})
+	m.items[key] = el
+	if m.ll.Len() > m.capacity {
+		oldest := m.ll.Back()
+		if oldest != nil {
+			m.removeElement(oldest)
+			m.stats.Evictions++
+		}
+	}
+}
+
+// Delete removes key if present and reports whether it was found (even if
+// expired).
+func (m *Memory[V]) Delete(key string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.items[key]
+	if !ok {
+		return false
+	}
+	m.removeElement(el)
+	return true
+}
+
+// Contains reports whether key is present and live, without affecting LRU
+// order or statistics.
+func (m *Memory[V]) Contains(key string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.items[key]
+	if !ok {
+		return false
+	}
+	en := el.Value.(*entry[V])
+	return en.expires.IsZero() || m.clk.Now().Before(en.expires)
+}
+
+// Len returns the number of entries, including not-yet-collected expired
+// ones.
+func (m *Memory[V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ll.Len()
+}
+
+// Clear removes every entry.
+func (m *Memory[V]) Clear() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ll.Init()
+	m.items = make(map[string]*list.Element, m.capacity)
+}
+
+// Purge removes all expired entries and returns how many were removed.
+func (m *Memory[V]) Purge() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.clk.Now()
+	var removed int
+	for el := m.ll.Back(); el != nil; {
+		prev := el.Prev()
+		en := el.Value.(*entry[V])
+		if !en.expires.IsZero() && !now.Before(en.expires) {
+			m.removeElement(el)
+			m.stats.Expired++
+			removed++
+		}
+		el = prev
+	}
+	return removed
+}
+
+// Keys returns the live keys from most to least recently used.
+func (m *Memory[V]) Keys() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.clk.Now()
+	keys := make([]string, 0, m.ll.Len())
+	for el := m.ll.Front(); el != nil; el = el.Next() {
+		en := el.Value.(*entry[V])
+		if en.expires.IsZero() || now.Before(en.expires) {
+			keys = append(keys, en.key)
+		}
+	}
+	return keys
+}
+
+// Stats returns a copy of the activity counters.
+func (m *Memory[V]) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.Size = m.ll.Len()
+	return s
+}
+
+// removeElement must be called with the lock held.
+func (m *Memory[V]) removeElement(el *list.Element) {
+	m.ll.Remove(el)
+	en := el.Value.(*entry[V])
+	delete(m.items, en.key)
+}

@@ -1,0 +1,475 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestMemoryGetSet(t *testing.T) {
+	m := NewMemory[string](4)
+	if _, err := m.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get on empty = %v, want ErrNotFound", err)
+	}
+	m.Set("a", "1")
+	v, err := m.Get("a")
+	if err != nil || v != "1" {
+		t.Errorf("Get = (%q, %v), want (1, nil)", v, err)
+	}
+	m.Set("a", "2") // update in place
+	v, _ = m.Get("a")
+	if v != "2" {
+		t.Errorf("updated Get = %q, want 2", v)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d, want 1", m.Len())
+	}
+}
+
+func TestMemoryLRUEviction(t *testing.T) {
+	m := NewMemory[int](3)
+	m.Set("a", 1)
+	m.Set("b", 2)
+	m.Set("c", 3)
+	// Touch "a" so "b" becomes the eviction candidate.
+	if _, err := m.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	m.Set("d", 4)
+	if _, err := m.Get("b"); !errors.Is(err, ErrNotFound) {
+		t.Error("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, err := m.Get(k); err != nil {
+			t.Errorf("%s should survive: %v", k, err)
+		}
+	}
+	if s := m.Stats(); s.Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", s.Evictions)
+	}
+}
+
+func TestMemoryTTLExpiry(t *testing.T) {
+	v := clock.NewVirtual(time.Unix(0, 0))
+	m := NewMemory[int](10, WithTTL[int](time.Minute), WithClock[int](v))
+	m.Set("k", 7)
+	if _, err := m.Get("k"); err != nil {
+		t.Fatalf("fresh entry: %v", err)
+	}
+	v.Advance(59 * time.Second)
+	if _, err := m.Get("k"); err != nil {
+		t.Errorf("entry expired early: %v", err)
+	}
+	v.Advance(2 * time.Second)
+	if _, err := m.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Error("entry should have expired")
+	}
+	if s := m.Stats(); s.Expired != 1 {
+		t.Errorf("Expired = %d, want 1", s.Expired)
+	}
+}
+
+func TestMemorySetTTLOverride(t *testing.T) {
+	v := clock.NewVirtual(time.Unix(0, 0))
+	m := NewMemory[int](10, WithTTL[int](time.Second), WithClock[int](v))
+	m.SetTTL("forever", 1, 0) // explicit no-expiry overrides default
+	v.Advance(time.Hour)
+	if _, err := m.Get("forever"); err != nil {
+		t.Errorf("no-TTL entry expired: %v", err)
+	}
+}
+
+func TestMemoryDeleteContains(t *testing.T) {
+	m := NewMemory[int](4)
+	m.Set("a", 1)
+	if !m.Contains("a") {
+		t.Error("Contains(a) = false")
+	}
+	if !m.Delete("a") {
+		t.Error("Delete(a) = false, want true")
+	}
+	if m.Delete("a") {
+		t.Error("second Delete(a) = true, want false")
+	}
+	if m.Contains("a") {
+		t.Error("Contains after Delete = true")
+	}
+}
+
+func TestMemoryContainsExpired(t *testing.T) {
+	v := clock.NewVirtual(time.Unix(0, 0))
+	m := NewMemory[int](4, WithClock[int](v))
+	m.SetTTL("a", 1, time.Second)
+	v.Advance(2 * time.Second)
+	if m.Contains("a") {
+		t.Error("Contains should be false for expired entry")
+	}
+}
+
+func TestMemoryPurge(t *testing.T) {
+	v := clock.NewVirtual(time.Unix(0, 0))
+	m := NewMemory[int](10, WithClock[int](v))
+	m.SetTTL("a", 1, time.Second)
+	m.SetTTL("b", 2, time.Hour)
+	m.SetTTL("c", 3, 0)
+	v.Advance(time.Minute)
+	if removed := m.Purge(); removed != 1 {
+		t.Errorf("Purge removed %d, want 1", removed)
+	}
+	if m.Len() != 2 {
+		t.Errorf("Len after Purge = %d, want 2", m.Len())
+	}
+}
+
+func TestMemoryKeysMRUOrder(t *testing.T) {
+	m := NewMemory[int](4)
+	m.Set("a", 1)
+	m.Set("b", 2)
+	m.Set("c", 3)
+	if _, err := m.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	keys := m.Keys()
+	if len(keys) != 3 || keys[0] != "a" {
+		t.Errorf("Keys = %v, want a first (MRU)", keys)
+	}
+}
+
+func TestMemoryClear(t *testing.T) {
+	m := NewMemory[int](4)
+	m.Set("a", 1)
+	m.Set("b", 2)
+	m.Clear()
+	if m.Len() != 0 {
+		t.Errorf("Len after Clear = %d", m.Len())
+	}
+	if _, err := m.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Error("entry survived Clear")
+	}
+}
+
+func TestMemoryCapacityClamped(t *testing.T) {
+	m := NewMemory[int](0)
+	m.Set("a", 1)
+	m.Set("b", 2)
+	if m.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (capacity clamped)", m.Len())
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	m := NewMemory[int](4)
+	m.Set("a", 1)
+	if _, err := m.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get("missing"); err == nil {
+		t.Fatal("expected miss")
+	}
+	s := m.Stats()
+	if s.HitRatio() != 0.5 {
+		t.Errorf("HitRatio = %v, want 0.5", s.HitRatio())
+	}
+	if (Stats{}).HitRatio() != 0 {
+		t.Error("empty HitRatio should be 0")
+	}
+}
+
+func TestMemoryConcurrent(t *testing.T) {
+	m := NewMemory[int](128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k := strconv.Itoa(i % 200)
+				m.Set(k, i)
+				if _, err := m.Get(k); err != nil && !errors.Is(err, ErrNotFound) {
+					t.Errorf("Get error: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.Len() > 128 {
+		t.Errorf("Len = %d exceeds capacity", m.Len())
+	}
+}
+
+func TestMemoryNeverExceedsCapacityProperty(t *testing.T) {
+	// Property: after any sequence of Sets, Len <= capacity.
+	f := func(keys []uint8, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		m := NewMemory[int](capacity)
+		for i, k := range keys {
+			m.Set(strconv.Itoa(int(k)), i)
+			if m.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryLastWriteWinsProperty(t *testing.T) {
+	// Property: a Get immediately after Set returns the Set value.
+	f := func(key uint8, vals []int) bool {
+		m := NewMemory[int](8)
+		k := strconv.Itoa(int(key))
+		for _, v := range vals {
+			m.Set(k, v)
+			got, err := m.Get(k)
+			if err != nil || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupDeduplicates(t *testing.T) {
+	g := NewGroup[int]()
+	var calls int32
+	var mu sync.Mutex
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]int, 5)
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, _ := g.Do("k", func() (int, error) {
+				mu.Lock()
+				calls++
+				mu.Unlock()
+				<-release
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("Do error: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Wait until the four duplicate callers have all registered on the
+	// in-flight call, then release it.
+	for g.Waiters("k") < 4 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if calls != 1 {
+		t.Errorf("fn called %d times, want 1", calls)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Errorf("result[%d] = %d, want 42", i, v)
+		}
+	}
+}
+
+func TestGroupPropagatesError(t *testing.T) {
+	g := NewGroup[int]()
+	wantErr := errors.New("fill failed")
+	_, err, _ := g.Do("k", func() (int, error) { return 0, wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Errorf("error = %v, want %v", err, wantErr)
+	}
+	// After completion the key is released and callable again.
+	v, err, _ := g.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Errorf("second Do = (%d, %v)", v, err)
+	}
+}
+
+func TestGetOrFill(t *testing.T) {
+	m := NewMemory[string](4)
+	g := NewGroup[string]()
+	var fills int
+	fill := func() (string, error) {
+		fills++
+		return "value", nil
+	}
+	v, hit, err := GetOrFill(m, g, "k", fill)
+	if err != nil || hit || v != "value" {
+		t.Errorf("first GetOrFill = (%q, %v, %v)", v, hit, err)
+	}
+	v, hit, err = GetOrFill(m, g, "k", fill)
+	if err != nil || !hit || v != "value" {
+		t.Errorf("second GetOrFill = (%q, %v, %v), want cache hit", v, hit, err)
+	}
+	if fills != 1 {
+		t.Errorf("fill called %d times, want 1", fills)
+	}
+}
+
+func TestGetOrFillErrorNotCached(t *testing.T) {
+	m := NewMemory[string](4)
+	g := NewGroup[string]()
+	boom := errors.New("boom")
+	if _, _, err := GetOrFill(m, g, "k", func() (string, error) { return "", boom }); !errors.Is(err, boom) {
+		t.Errorf("error = %v, want boom", err)
+	}
+	// Error results must not be cached; next call should retry the fill.
+	v, hit, err := GetOrFill(m, g, "k", func() (string, error) { return "ok", nil })
+	if err != nil || hit || v != "ok" {
+		t.Errorf("retry = (%q, %v, %v)", v, hit, err)
+	}
+}
+
+func TestGetOrFillConcurrentSingleFill(t *testing.T) {
+	m := NewMemory[int](16)
+	g := NewGroup[int]()
+	var mu sync.Mutex
+	fills := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := GetOrFill(m, g, "hot", func() (int, error) {
+				mu.Lock()
+				fills++
+				mu.Unlock()
+				time.Sleep(5 * time.Millisecond)
+				return 9, nil
+			})
+			if err != nil || v != 9 {
+				t.Errorf("GetOrFill = (%d, %v)", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if fills != 1 {
+		t.Errorf("fill executed %d times, want 1 (single-flight)", fills)
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	d, err := NewDisk(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type payload struct {
+		Name  string `json:"name"`
+		Score int    `json:"score"`
+	}
+	in := payload{Name: "svc", Score: 42}
+	if err := d.Set("key1", in, 0); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := d.Get("key1", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip = %+v, want %+v", out, in)
+	}
+}
+
+func TestDiskMissAndDelete(t *testing.T) {
+	d, err := NewDisk(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out string
+	if err := d.Get("missing", &out); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get missing = %v, want ErrNotFound", err)
+	}
+	if err := d.Delete("missing"); err != nil {
+		t.Errorf("Delete missing = %v, want nil", err)
+	}
+	if err := d.Set("k", "v", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Get("k", &out); !errors.Is(err, ErrNotFound) {
+		t.Error("entry survived Delete")
+	}
+}
+
+func TestDiskTTL(t *testing.T) {
+	v := clock.NewVirtual(time.Unix(0, 0))
+	d, err := NewDisk(t.TempDir(), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set("k", 1, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	var out int
+	if err := d.Get("k", &out); err != nil {
+		t.Fatalf("fresh entry: %v", err)
+	}
+	v.Advance(2 * time.Minute)
+	if err := d.Get("k", &out); !errors.Is(err, ErrNotFound) {
+		t.Error("entry should have expired")
+	}
+}
+
+func TestDiskLenClear(t *testing.T) {
+	d, err := NewDisk(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := d.Set(fmt.Sprintf("k%d", i), i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := d.Len()
+	if err != nil || n != 5 {
+		t.Errorf("Len = (%d, %v), want 5", n, err)
+	}
+	if err := d.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	n, _ = d.Len()
+	if n != 0 {
+		t.Errorf("Len after Clear = %d", n)
+	}
+}
+
+func TestDiskSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	d1, err := NewDisk(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Set("persistent", "hello", 0); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewDisk(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out string
+	if err := d2.Get("persistent", &out); err != nil || out != "hello" {
+		t.Errorf("reopened Get = (%q, %v)", out, err)
+	}
+}
+
+func TestDiskUnencodableValue(t *testing.T) {
+	d, err := NewDisk(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set("k", make(chan int), 0); err == nil {
+		t.Error("encoding a channel should fail")
+	}
+}

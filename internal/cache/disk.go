@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Disk is a persistent cache storing each entry as a JSON file under a
+// directory. It survives process restarts, which lets an application keep
+// serving previously fetched service responses while disconnected (paper
+// §2, §3). Disk is safe for concurrent use by a single process via
+// write-to-temp-then-rename.
+type Disk struct {
+	dir string
+	clk clock.Clock
+}
+
+type diskEntry struct {
+	Key     string          `json:"key"`
+	Expires time.Time       `json:"expires,omitempty"`
+	Stored  time.Time       `json:"stored"`
+	Value   json.RawMessage `json:"value"`
+}
+
+// NewDisk returns a Disk cache rooted at dir, creating it if needed.
+func NewDisk(dir string, clk clock.Clock) (*Disk, error) {
+	if clk == nil {
+		clk = clock.Real()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: create dir: %w", err)
+	}
+	return &Disk{dir: dir, clk: clk}, nil
+}
+
+func (d *Disk) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(d.dir, hex.EncodeToString(sum[:16])+".json")
+}
+
+// Set persists value (JSON-encoded) under key. ttl <= 0 means no expiry.
+func (d *Disk) Set(key string, value any, ttl time.Duration) error {
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("cache: encode value: %w", err)
+	}
+	en := diskEntry{Key: key, Stored: d.clk.Now(), Value: raw}
+	if ttl > 0 {
+		en.Expires = en.Stored.Add(ttl)
+	}
+	data, err := json.Marshal(en)
+	if err != nil {
+		return fmt.Errorf("cache: encode entry: %w", err)
+	}
+	p := d.path(key)
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("cache: write temp: %w", err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		return fmt.Errorf("cache: rename: %w", err)
+	}
+	return nil
+}
+
+// Get decodes the persisted value for key into out (a pointer). It returns
+// ErrNotFound when the key is absent or expired; expired entries are
+// removed.
+func (d *Disk) Get(key string, out any) error {
+	p := d.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return ErrNotFound
+		}
+		return fmt.Errorf("cache: read: %w", err)
+	}
+	var en diskEntry
+	if err := json.Unmarshal(data, &en); err != nil {
+		return fmt.Errorf("cache: decode entry: %w", err)
+	}
+	if en.Key != key {
+		// Hash collision on the filename prefix; treat as a miss.
+		return ErrNotFound
+	}
+	if !en.Expires.IsZero() && !d.clk.Now().Before(en.Expires) {
+		_ = os.Remove(p)
+		return ErrNotFound
+	}
+	if err := json.Unmarshal(en.Value, out); err != nil {
+		return fmt.Errorf("cache: decode value: %w", err)
+	}
+	return nil
+}
+
+// Delete removes the persisted entry for key; missing keys are not an
+// error.
+func (d *Disk) Delete(key string) error {
+	err := os.Remove(d.path(key))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("cache: delete: %w", err)
+	}
+	return nil
+}
+
+// Len counts the persisted entries, including expired ones.
+func (d *Disk) Len() (int, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0, fmt.Errorf("cache: list: %w", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Clear removes every persisted entry.
+func (d *Disk) Clear() error {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return fmt.Errorf("cache: list: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if err := os.Remove(filepath.Join(d.dir, e.Name())); err != nil {
+			return fmt.Errorf("cache: remove %s: %w", e.Name(), err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package cache
+
+import "sync"
+
+// Group de-duplicates concurrent calls with the same key: while one call is
+// in flight, later callers for the same key wait for and share its result
+// instead of issuing redundant service invocations. This complements the
+// cache on cold keys under concurrency.
+type Group[V any] struct {
+	mu    sync.Mutex
+	calls map[string]*call[V]
+}
+
+type call[V any] struct {
+	done chan struct{} // closed when the call completes
+	val  V
+	err  error
+	dups int
+}
+
+// NewGroup returns an empty Group.
+func NewGroup[V any]() *Group[V] {
+	return &Group[V]{calls: make(map[string]*call[V])}
+}
+
+// Do invokes fn once per key at a time; concurrent duplicate callers block
+// and receive the same result. shared reports whether the result was
+// produced by another caller's invocation.
+func (g *Group[V]) Do(key string, fn func() (V, error)) (v V, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		c.dups++
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &call[V]{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, c.dups > 0
+}
+
+// Waiters reports how many duplicate callers are currently waiting on the
+// in-flight call for key, or -1 if no call is in flight. It exists for
+// observability and test synchronization.
+func (g *Group[V]) Waiters(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c, ok := g.calls[key]
+	if !ok {
+		return -1
+	}
+	return c.dups
+}
+
+// GetOrFill returns the cached value for key, or — on a miss — invokes fill
+// (de-duplicated across concurrent callers) and caches its result. hit
+// reports whether the value came from the cache.
+func GetOrFill[V any](m *Memory[V], g *Group[V], key string, fill func() (V, error)) (v V, hit bool, err error) {
+	if v, err := m.Get(key); err == nil {
+		return v, true, nil
+	}
+	v, err, _ = g.Do(key, func() (V, error) {
+		// Re-check inside the flight: an earlier duplicate may have
+		// already filled the cache.
+		if v, err := m.Get(key); err == nil {
+			return v, nil
+		}
+		v, err := fill()
+		if err != nil {
+			var zero V
+			return zero, err
+		}
+		m.Set(key, v)
+		return v, nil
+	})
+	return v, false, err
+}

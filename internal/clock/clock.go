@@ -1,0 +1,134 @@
+// Package clock provides a clock abstraction so that simulations and tests
+// can run on deterministic virtual time while production code uses the real
+// wall clock.
+//
+// All time-dependent components in this repository accept a Clock rather
+// than calling time.Now directly. The zero configuration (a nil Clock) is
+// never valid; use Real() or NewVirtual().
+package clock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock tells time and sleeps. Implementations must be safe for concurrent
+// use.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep blocks the calling goroutine for d on this clock's timeline.
+	Sleep(d time.Duration)
+	// Since returns the duration elapsed since t.
+	Since(t time.Time) time.Duration
+	// After returns a channel that delivers the clock's time after d.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real returns a Clock backed by the system wall clock.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+var _ Clock = realClock{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (realClock) Since(t time.Time) time.Duration        { return time.Since(t) }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Virtual is a manually advanced clock for deterministic tests and
+// simulation. Goroutines blocked in Sleep or waiting on After channels are
+// released when Advance moves time past their deadlines.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []waiter
+}
+
+type waiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+var _ Clock = (*Virtual)(nil)
+
+// NewVirtual returns a Virtual clock starting at start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Since returns the virtual duration elapsed since t.
+func (v *Virtual) Since(t time.Time) time.Duration {
+	return v.Now().Sub(t)
+}
+
+// Sleep blocks until the virtual clock has been advanced by at least d.
+// Sleeping for a non-positive duration returns immediately.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-v.After(d)
+}
+
+// After returns a channel that receives the virtual time once the clock has
+// advanced by at least d. The channel has capacity 1 so Advance never
+// blocks delivering to it.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- v.now
+		return ch
+	}
+	v.waiters = append(v.waiters, waiter{deadline: v.now.Add(d), ch: ch})
+	return ch
+}
+
+// Advance moves the virtual clock forward by d, waking any sleepers whose
+// deadlines are reached. Advancing by a non-positive duration is a no-op.
+func (v *Virtual) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	v.now = v.now.Add(d)
+	now := v.now
+	// Fire expired waiters in deadline order so observers see a coherent
+	// timeline.
+	sort.Slice(v.waiters, func(i, j int) bool {
+		return v.waiters[i].deadline.Before(v.waiters[j].deadline)
+	})
+	var remaining []waiter
+	var fired []waiter
+	for _, w := range v.waiters {
+		if !w.deadline.After(now) {
+			fired = append(fired, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	v.waiters = remaining
+	v.mu.Unlock()
+	for _, w := range fired {
+		w.ch <- now
+	}
+}
+
+// Pending reports how many goroutines are waiting on this clock. Tests use
+// it to synchronize with sleepers before advancing time.
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.waiters)
+}

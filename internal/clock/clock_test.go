@@ -1,0 +1,108 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealClockBasics(t *testing.T) {
+	c := Real()
+	t0 := c.Now()
+	if c.Since(t0) < 0 {
+		t.Error("Since returned negative duration")
+	}
+	c.Sleep(time.Millisecond)
+	if !c.Now().After(t0) {
+		t.Error("Now did not advance across Sleep")
+	}
+}
+
+func TestVirtualNowAdvance(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	v := NewVirtual(start)
+	if !v.Now().Equal(start) {
+		t.Errorf("Now = %v, want %v", v.Now(), start)
+	}
+	v.Advance(time.Hour)
+	if got := v.Since(start); got != time.Hour {
+		t.Errorf("Since = %v, want 1h", got)
+	}
+	v.Advance(-time.Hour) // no-op
+	if got := v.Since(start); got != time.Hour {
+		t.Errorf("negative Advance should be a no-op, Since = %v", got)
+	}
+}
+
+func TestVirtualSleepWakesOnAdvance(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	woke := make(chan struct{}, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v.Sleep(10 * time.Second)
+		woke <- struct{}{}
+	}()
+	// Wait until the sleeper has registered.
+	for v.Pending() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-woke:
+		t.Fatal("sleeper woke before Advance")
+	default:
+	}
+	v.Advance(9 * time.Second)
+	select {
+	case <-woke:
+		t.Fatal("sleeper woke before deadline")
+	case <-time.After(10 * time.Millisecond):
+	}
+	v.Advance(time.Second)
+	select {
+	case <-woke:
+	case <-time.After(time.Second):
+		t.Fatal("sleeper did not wake after deadline")
+	}
+	wg.Wait()
+}
+
+func TestVirtualSleepNonPositive(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(0)
+		v.Sleep(-time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("non-positive Sleep blocked")
+	}
+}
+
+func TestVirtualAfterImmediate(t *testing.T) {
+	v := NewVirtual(time.Unix(100, 0))
+	select {
+	case ts := <-v.After(0):
+		if !ts.Equal(time.Unix(100, 0)) {
+			t.Errorf("After(0) delivered %v, want clock time", ts)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("After(0) did not deliver immediately")
+	}
+}
+
+func TestVirtualMultipleWaitersOrdered(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	ch1 := v.After(time.Second)
+	ch2 := v.After(2 * time.Second)
+	v.Advance(90 * time.Second)
+	<-ch1
+	<-ch2
+	if v.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", v.Pending())
+	}
+}

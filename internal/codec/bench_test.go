@@ -1,0 +1,41 @@
+package codec
+
+import (
+	"strings"
+	"testing"
+)
+
+var benchPayload = []byte(strings.Repeat("knowledge base statement about markets. ", 256))
+
+func benchCodec(b *testing.B, c Codec) {
+	b.Helper()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchPayload)))
+	for i := 0; i < b.N; i++ {
+		enc, err := c.Encode(benchPayload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGzipRoundTrip(b *testing.B) { benchCodec(b, Gzip{}) }
+
+func BenchmarkAESGCMRoundTrip(b *testing.B) {
+	c, err := NewAESGCM("bench key")
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCodec(b, c)
+}
+
+func BenchmarkChainGzipAESRoundTrip(b *testing.B) {
+	enc, err := NewAESGCM("bench key")
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCodec(b, Chain{Gzip{}, enc})
+}

@@ -1,0 +1,161 @@
+// Package codec provides the encryption and compression envelopes the
+// personalized knowledge base applies before persisting data or sending it
+// to a remote store (paper §3: encrypt before storing so confidential data
+// cannot leak even from an untrusted store; compress before sending to save
+// bandwidth and storage charges). Encryption is AES-256-GCM (authenticated);
+// compression is gzip. Codecs compose: Chain(Compress, Encrypt) compresses
+// then encrypts, which is the correct order (ciphertext does not compress).
+package codec
+
+import (
+	"bytes"
+	"compress/gzip"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Codec transforms byte payloads symmetrically.
+type Codec interface {
+	// Encode transforms plaintext into the stored form.
+	Encode(data []byte) ([]byte, error)
+	// Decode inverts Encode.
+	Decode(data []byte) ([]byte, error)
+}
+
+// Identity passes data through unchanged.
+type Identity struct{}
+
+var _ Codec = Identity{}
+
+// Encode implements Codec.
+func (Identity) Encode(data []byte) ([]byte, error) { return data, nil }
+
+// Decode implements Codec.
+func (Identity) Decode(data []byte) ([]byte, error) { return data, nil }
+
+// Gzip compresses with gzip at the given level.
+type Gzip struct {
+	// Level is a compress/gzip level; 0 means gzip.DefaultCompression.
+	Level int
+}
+
+var _ Codec = Gzip{}
+
+// Encode implements Codec.
+func (g Gzip) Encode(data []byte) ([]byte, error) {
+	level := g.Level
+	if level == 0 {
+		level = gzip.DefaultCompression
+	}
+	var buf bytes.Buffer
+	w, err := gzip.NewWriterLevel(&buf, level)
+	if err != nil {
+		return nil, fmt.Errorf("codec: gzip level: %w", err)
+	}
+	if _, err := w.Write(data); err != nil {
+		return nil, fmt.Errorf("codec: gzip write: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("codec: gzip close: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode implements Codec.
+func (g Gzip) Decode(data []byte) ([]byte, error) {
+	r, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("codec: gzip open: %w", err)
+	}
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("codec: gzip read: %w", err)
+	}
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("codec: gzip close: %w", err)
+	}
+	return out, nil
+}
+
+// AESGCM encrypts with AES-256-GCM. Construct with NewAESGCM.
+type AESGCM struct {
+	aead cipher.AEAD
+}
+
+var _ Codec = (*AESGCM)(nil)
+
+// NewAESGCM derives a 256-bit key from the passphrase (SHA-256) and returns
+// an authenticated encryption codec.
+func NewAESGCM(passphrase string) (*AESGCM, error) {
+	if passphrase == "" {
+		return nil, errors.New("codec: empty passphrase")
+	}
+	key := sha256.Sum256([]byte(passphrase))
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("codec: cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("codec: gcm: %w", err)
+	}
+	return &AESGCM{aead: aead}, nil
+}
+
+// Encode implements Codec: output is nonce || ciphertext.
+func (a *AESGCM) Encode(data []byte) ([]byte, error) {
+	nonce := make([]byte, a.aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("codec: nonce: %w", err)
+	}
+	return a.aead.Seal(nonce, nonce, data, nil), nil
+}
+
+// Decode implements Codec. Tampered or wrongly keyed data fails
+// authentication.
+func (a *AESGCM) Decode(data []byte) ([]byte, error) {
+	ns := a.aead.NonceSize()
+	if len(data) < ns {
+		return nil, errors.New("codec: ciphertext too short")
+	}
+	out, err := a.aead.Open(nil, data[:ns], data[ns:], nil)
+	if err != nil {
+		return nil, fmt.Errorf("codec: decrypt: %w", err)
+	}
+	return out, nil
+}
+
+// Chain composes codecs: Encode applies them left to right, Decode right to
+// left.
+type Chain []Codec
+
+var _ Codec = Chain(nil)
+
+// Encode implements Codec.
+func (c Chain) Encode(data []byte) ([]byte, error) {
+	var err error
+	for _, step := range c {
+		data, err = step.Encode(data)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// Decode implements Codec.
+func (c Chain) Decode(data []byte) ([]byte, error) {
+	var err error
+	for i := len(c) - 1; i >= 0; i-- {
+		data, err = c[i].Decode(data)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}

@@ -1,0 +1,498 @@
+// Package core implements the rich SDK itself — the paper's primary
+// contribution. The Client ties the substrates together: a registry of
+// services grouped by functionality, per-service monitoring (performance,
+// availability, quality), score-based ranking and selection (Equations 1
+// and 2), failure handling with per-service retry counts and ranked
+// failover, response caching, client-side quotas, latency prediction from
+// latency parameters, and synchronous, asynchronous (ListenableFuture
+// style), and redundant invocation. An HTTP façade (httpapi.go) exposes the
+// SDK to applications written in other languages.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/clock"
+	"repro/internal/failover"
+	"repro/internal/future"
+	"repro/internal/metrics"
+	"repro/internal/predict"
+	"repro/internal/rank"
+	"repro/internal/service"
+)
+
+// Errors returned by the client.
+var (
+	// ErrUnknownService is returned for invocations of unregistered
+	// service names.
+	ErrUnknownService = errors.New("core: unknown service")
+	// ErrUnknownCategory is returned for category invocations with no
+	// registered services.
+	ErrUnknownCategory = errors.New("core: unknown category")
+	// ErrClientQuota is returned when the SDK's client-side quota for a
+	// service is exhausted (the remote call is not attempted).
+	ErrClientQuota = errors.New("core: client-side quota exhausted")
+)
+
+// QualityFunc rates the quality of a service response; higher is better
+// (paper §2: "users can provide methods to rate the quality of different
+// services").
+type QualityFunc func(req service.Request, resp service.Response) float64
+
+// ParamsFunc extracts latency parameters from a request (paper §2: "latency
+// parameters are provided by users"). The default extracts the argument
+// size in bytes.
+type ParamsFunc func(req service.Request) []float64
+
+// Config configures a Client. The zero value is usable: real clock, a
+// 4096-entry cache with no TTL, Equation 1 scoring with default weights,
+// one retry for transient failures, and an 8-worker async pool.
+type Config struct {
+	// Clock is the SDK's timeline. Nil means the real clock.
+	Clock clock.Clock
+	// CacheSize bounds the response cache (entries). 0 means 4096.
+	CacheSize int
+	// CacheTTL expires cached responses. 0 means no expiry. The paper
+	// notes cached values can become obsolete; a TTL bounds staleness.
+	CacheTTL time.Duration
+	// Scorer ranks services. Nil means Equation 1 with DefaultWeights.
+	Scorer rank.Scorer
+	// DefaultRetry applies to services registered without their own
+	// policy. Zero means 2 attempts, no backoff.
+	DefaultRetry failover.RetryPolicy
+	// AsyncWorkers and AsyncQueue bound the thread pool used for
+	// asynchronous invocation (paper §2.1: "thread pools of limited
+	// size"). Zero means 8 workers, 256 queued tasks.
+	AsyncWorkers int
+	AsyncQueue   int
+	// Predict configures latency predictors. The zero value uses the
+	// predict package defaults with peer-average fallback.
+	Predict predict.Config
+}
+
+func (c *Config) fill() {
+	if c.Clock == nil {
+		c.Clock = clock.Real()
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 4096
+	}
+	if c.Scorer == nil {
+		c.Scorer = rank.Weighted{W: rank.DefaultWeights}
+	}
+	if c.DefaultRetry.MaxAttempts == 0 {
+		c.DefaultRetry = failover.RetryPolicy{MaxAttempts: 2}
+	}
+	if c.AsyncWorkers <= 0 {
+		c.AsyncWorkers = 8
+	}
+	if c.AsyncQueue <= 0 {
+		c.AsyncQueue = 256
+	}
+	if c.Predict.Policy == 0 {
+		c.Predict.Policy = predict.DefaultPeerAverage
+	}
+}
+
+// registration holds per-service configuration alongside the service.
+type registration struct {
+	svc       service.Service
+	retry     *failover.RetryPolicy
+	quality   QualityFunc
+	params    ParamsFunc
+	quota     *service.Quota
+	cacheable bool
+}
+
+// Client is the rich SDK entry point. It is safe for concurrent use after
+// all services are registered.
+type Client struct {
+	cfg      Config
+	registry *service.Registry
+	monitors *metrics.Registry
+	memcache *cache.Memory[service.Response]
+	flight   *cache.Group[service.Response]
+	pool     *future.Pool
+
+	mu         sync.Mutex
+	regs       map[string]*registration
+	predictors map[string]*predict.Predictor
+}
+
+// NewClient returns a Client with the given configuration.
+func NewClient(cfg Config) (*Client, error) {
+	cfg.fill()
+	pool, err := future.NewPool(cfg.AsyncWorkers, cfg.AsyncQueue)
+	if err != nil {
+		return nil, fmt.Errorf("core: async pool: %w", err)
+	}
+	return &Client{
+		cfg:      cfg,
+		registry: service.NewRegistry(),
+		monitors: metrics.NewRegistry(metrics.WithClock(cfg.Clock)),
+		memcache: cache.NewMemory[service.Response](cfg.CacheSize, cache.WithTTL[service.Response](cfg.CacheTTL), cache.WithClock[service.Response](cfg.Clock)),
+		flight:   cache.NewGroup[service.Response](),
+		pool:     pool,
+		regs:     make(map[string]*registration),
+	}, nil
+}
+
+// Close releases the client's async pool, waiting for in-flight async
+// invocations to finish.
+func (c *Client) Close() { c.pool.Close() }
+
+// RegisterOption customizes one service registration.
+type RegisterOption func(*registration)
+
+// WithRetry sets the service's retry policy (paper §2.1: the retry count
+// "can be specified by the user and may be different for different
+// services").
+func WithRetry(p failover.RetryPolicy) RegisterOption {
+	return func(r *registration) { r.retry = &p }
+}
+
+// WithQuality sets the user's quality-rating method for the service; it
+// runs on every successful response and feeds the service's quality score.
+func WithQuality(f QualityFunc) RegisterOption {
+	return func(r *registration) { r.quality = f }
+}
+
+// WithLatencyParams sets the user's latency-parameter extractor for the
+// service.
+func WithLatencyParams(f ParamsFunc) RegisterOption {
+	return func(r *registration) { r.params = f }
+}
+
+// WithClientQuota makes the SDK refuse invocations beyond the quota without
+// calling the remote service, preserving a limited allowance.
+func WithClientQuota(q *service.Quota) RegisterOption {
+	return func(r *registration) { r.quota = q }
+}
+
+// WithCacheable marks the service's responses as cacheable. Caching "will
+// not be applicable for all remote services" (paper §2) — storage writes,
+// for example, must always reach the service — so it is opt-in per service.
+func WithCacheable() RegisterOption {
+	return func(r *registration) { r.cacheable = true }
+}
+
+// Register adds a service to the SDK.
+func (c *Client) Register(svc service.Service, opts ...RegisterOption) error {
+	if err := c.registry.Register(svc); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	reg := &registration{
+		svc:    svc,
+		params: func(req service.Request) []float64 { return []float64{float64(req.ArgSize())} },
+	}
+	for _, o := range opts {
+		o(reg)
+	}
+	c.mu.Lock()
+	c.regs[svc.Info().Name] = reg
+	c.mu.Unlock()
+	return nil
+}
+
+// MustRegister is Register that panics on error, for program setup code.
+func (c *Client) MustRegister(svc service.Service, opts ...RegisterOption) {
+	if err := c.Register(svc, opts...); err != nil {
+		panic(err)
+	}
+}
+
+func (c *Client) reg(name string) (*registration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.regs[name]
+	return r, ok
+}
+
+// Monitor returns the monitoring data collected for the named service.
+func (c *Client) Monitor(name string) *metrics.Monitor { return c.monitors.Monitor(name) }
+
+// Stats returns monitoring snapshots for every service that has been
+// invoked, sorted by name.
+func (c *Client) Stats() []metrics.Snapshot { return c.monitors.Snapshots() }
+
+// Registry exposes the underlying service registry (read-only use).
+func (c *Client) Registry() *service.Registry { return c.registry }
+
+// InvokeOption customizes a single invocation.
+type InvokeOption func(*invokeOpts)
+
+type invokeOpts struct {
+	noCache bool
+	retry   *failover.RetryPolicy
+}
+
+// NoCache bypasses the response cache for this invocation.
+func NoCache() InvokeOption { return func(o *invokeOpts) { o.noCache = true } }
+
+// Retry overrides the retry policy for this invocation.
+func Retry(p failover.RetryPolicy) InvokeOption {
+	return func(o *invokeOpts) { o.retry = &p }
+}
+
+// Invoke synchronously calls the named service with monitoring, caching,
+// client-side quota enforcement, and retries.
+func (c *Client) Invoke(ctx context.Context, name string, req service.Request, opts ...InvokeOption) (service.Response, error) {
+	var io invokeOpts
+	for _, o := range opts {
+		o(&io)
+	}
+	reg, ok := c.reg(name)
+	if !ok {
+		return service.Response{}, fmt.Errorf("%w: %s", ErrUnknownService, name)
+	}
+	useCache := reg.cacheable && !io.noCache
+	key := "svc:" + name + ":" + req.CacheKey()
+	if useCache {
+		if resp, err := c.memcache.Get(key); err == nil {
+			return resp, nil
+		}
+		resp, err, _ := c.flight.Do(key, func() (service.Response, error) {
+			if resp, err := c.memcache.Get(key); err == nil {
+				return resp, nil
+			}
+			resp, err := c.invokeOnce(ctx, reg, req, io.retry)
+			if err != nil {
+				return service.Response{}, err
+			}
+			c.memcache.Set(key, resp)
+			return resp, nil
+		})
+		return resp, err
+	}
+	return c.invokeOnce(ctx, reg, req, io.retry)
+}
+
+// invokeOnce performs the monitored, retried call to one service.
+func (c *Client) invokeOnce(ctx context.Context, reg *registration, req service.Request, retryOverride *failover.RetryPolicy) (service.Response, error) {
+	if reg.quota != nil && !reg.quota.Take() {
+		return service.Response{}, fmt.Errorf("%w: %s", ErrClientQuota, reg.svc.Info().Name)
+	}
+	policy := c.cfg.DefaultRetry
+	if reg.retry != nil {
+		policy = *reg.retry
+	}
+	if retryOverride != nil {
+		policy = *retryOverride
+	}
+	name := reg.svc.Info().Name
+	params := reg.params(req)
+	start := c.cfg.Clock.Now()
+	resp, _, err := failover.Invoke(ctx, c.cfg.Clock, reg.svc, req, policy)
+	elapsed := c.cfg.Clock.Since(start)
+	mon := c.monitors.Monitor(name)
+	mon.Record(metrics.Observation{Latency: elapsed, Err: err, Params: params})
+	if err != nil {
+		return service.Response{}, err
+	}
+	if reg.quality != nil {
+		mon.RecordQuality(reg.quality(req, resp))
+	}
+	c.mu.Lock()
+	p := c.predictors[name]
+	if p == nil {
+		p = predict.New(c.cfg.Predict)
+		if c.predictors == nil {
+			c.predictors = make(map[string]*predict.Predictor)
+		}
+		c.predictors[name] = p
+	}
+	p.Observe(params, elapsed)
+	c.mu.Unlock()
+	return resp, nil
+}
+
+// InvokeAsync calls the named service on the SDK's bounded pool and returns
+// a ListenableFuture-style future. Callbacks registered on the future run
+// when the call completes (paper §2: asynchronous invocation with
+// registered callbacks).
+func (c *Client) InvokeAsync(ctx context.Context, name string, req service.Request, opts ...InvokeOption) *future.Future[service.Response] {
+	return future.Submit(c.pool, func() (service.Response, error) {
+		return c.Invoke(ctx, name, req, opts...)
+	})
+}
+
+// PredictLatency predicts the latency of invoking the named service with
+// the given latency parameters, using the service's recorded history and
+// falling back to peer data from the same category per the configured
+// default policy.
+func (c *Client) PredictLatency(name string, params []float64) (time.Duration, error) {
+	reg, ok := c.reg(name)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownService, name)
+	}
+	c.mu.Lock()
+	p := c.predictors[name]
+	c.mu.Unlock()
+	if p == nil {
+		p = predict.New(c.cfg.Predict)
+	}
+	peers := c.peerMeansMS(reg.svc.Info().Category, name)
+	return p.Predict(params, peers)
+}
+
+// peerMeansMS returns mean latencies (ms) of other services in category.
+func (c *Client) peerMeansMS(category, exclude string) []float64 {
+	var peers []float64
+	for _, svc := range c.registry.Category(category) {
+		n := svc.Info().Name
+		if n == exclude {
+			continue
+		}
+		if m := c.monitors.Monitor(n); m.Count() > 0 {
+			peers = append(peers, float64(m.MeanLatency())/float64(time.Millisecond))
+		}
+	}
+	return peers
+}
+
+// Estimates builds ranking estimates for every service in category, for the
+// given request: predicted response time from collected data, monetary cost
+// from the service's cost model, and mean recorded quality.
+func (c *Client) Estimates(category string, req service.Request) ([]rank.Estimate, error) {
+	svcs := c.registry.Category(category)
+	if len(svcs) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownCategory, category)
+	}
+	ests := make([]rank.Estimate, 0, len(svcs))
+	for _, svc := range svcs {
+		info := svc.Info()
+		reg, _ := c.reg(info.Name)
+		params := []float64{float64(req.ArgSize())}
+		if reg != nil {
+			params = reg.params(req)
+		}
+		var rtMS float64
+		if d, err := c.PredictLatency(info.Name, params); err == nil {
+			rtMS = float64(d) / float64(time.Millisecond)
+		}
+		quality, _ := c.monitors.Monitor(info.Name).MeanQuality()
+		ests = append(ests, rank.Estimate{
+			Name:           info.Name,
+			ResponseTimeMS: rtMS,
+			Cost:           info.Cost(req),
+			Quality:        quality,
+		})
+	}
+	return ests, nil
+}
+
+// Rank scores and ranks the services in category for the given request
+// using the configured scorer, best first.
+func (c *Client) Rank(category string, req service.Request) ([]rank.Scored, error) {
+	ests, err := c.Estimates(category, req)
+	if err != nil {
+		return nil, err
+	}
+	return rank.Rank(ests, c.cfg.Scorer), nil
+}
+
+// Select returns the best-ranked service name in category for the request.
+func (c *Client) Select(category string, req service.Request) (string, error) {
+	ranked, err := c.Rank(category, req)
+	if err != nil {
+		return "", err
+	}
+	return ranked[0].Name, nil
+}
+
+// InvokeCategory invokes the best service in category, failing over to
+// lower-ranked services (each with its registered retry policy) until one
+// responds — the paper's ranked failover.
+func (c *Client) InvokeCategory(ctx context.Context, category string, req service.Request, opts ...InvokeOption) (service.Response, []failover.Attempt, error) {
+	var io invokeOpts
+	for _, o := range opts {
+		o(&io)
+	}
+	order, err := c.Rank(category, req)
+	if err != nil {
+		return service.Response{}, nil, err
+	}
+	// Category-level cache: any service's response satisfies the request.
+	key := "cat:" + category + ":" + req.CacheKey()
+	if !io.noCache {
+		if resp, err := c.memcache.Get(key); err == nil {
+			return resp, nil, nil
+		}
+	}
+	steps := make([]failover.Step, 0, len(order))
+	cacheable := false
+	for _, s := range order {
+		reg, ok := c.reg(s.Name)
+		if !ok {
+			continue
+		}
+		policy := c.cfg.DefaultRetry
+		if reg.retry != nil {
+			policy = *reg.retry
+		}
+		if io.retry != nil {
+			policy = *io.retry
+		}
+		if reg.cacheable {
+			cacheable = true
+		}
+		steps = append(steps, failover.Step{Service: c.monitored(reg), Policy: policy})
+	}
+	resp, attempts, err := failover.Chain(ctx, c.cfg.Clock, steps, req)
+	if err != nil {
+		return service.Response{}, attempts, err
+	}
+	if cacheable && !io.noCache {
+		c.memcache.Set(key, resp)
+	}
+	return resp, attempts, nil
+}
+
+// InvokeCategoryAsync runs InvokeCategory on the SDK pool.
+func (c *Client) InvokeCategoryAsync(ctx context.Context, category string, req service.Request, opts ...InvokeOption) *future.Future[service.Response] {
+	return future.Submit(c.pool, func() (service.Response, error) {
+		resp, _, err := c.InvokeCategory(ctx, category, req, opts...)
+		return resp, err
+	})
+}
+
+// InvokeAll redundantly invokes every service in category in parallel and
+// returns all results in registry order — the paper's multi-service case
+// for redundancy or for comparing and combining outputs.
+func (c *Client) InvokeAll(ctx context.Context, category string, req service.Request) ([]failover.Result, error) {
+	svcs := c.registry.Category(category)
+	if len(svcs) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownCategory, category)
+	}
+	wrapped := make([]service.Service, len(svcs))
+	for i, svc := range svcs {
+		reg, _ := c.reg(svc.Info().Name)
+		wrapped[i] = c.monitored(reg)
+	}
+	return failover.InvokeAll(ctx, c.cfg.Clock, wrapped, req), nil
+}
+
+// CacheStats returns the response cache's activity counters.
+func (c *Client) CacheStats() cache.Stats { return c.memcache.Stats() }
+
+// InvalidateCache drops every cached response (paper §2: "consistency
+// issues may arise in which a cached value is obsolete").
+func (c *Client) InvalidateCache() { c.memcache.Clear() }
+
+// monitored wraps a registration as a Service that records metrics,
+// quality, quota, and predictor observations on every invocation, so that
+// failover chains and redundant invocation feed monitoring exactly like
+// direct invocation.
+func (c *Client) monitored(reg *registration) service.Service {
+	return service.Func{
+		Meta: reg.svc.Info(),
+		Fn: func(ctx context.Context, req service.Request) (service.Response, error) {
+			return c.invokeOnce(ctx, reg, req, &failover.RetryPolicy{MaxAttempts: 1})
+		},
+	}
+}

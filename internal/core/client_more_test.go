@@ -1,0 +1,236 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/failover"
+	"repro/internal/rank"
+	"repro/internal/service"
+)
+
+func TestClientConcurrentInvocations(t *testing.T) {
+	c := newClient(t, Config{})
+	var calls int32
+	svc := service.Func{
+		Meta: service.Info{Name: "conc", Category: "t"},
+		Fn: func(_ context.Context, req service.Request) (service.Response, error) {
+			atomic.AddInt32(&calls, 1)
+			return service.Response{Body: []byte(req.Text)}, nil
+		},
+	}
+	if err := c.Register(svc, WithCacheable()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				// 25 distinct request texts: heavy cache sharing across
+				// goroutines.
+				req := service.Request{Op: "analyze", Text: fmt.Sprintf("doc-%d", i%25)}
+				if _, err := c.Invoke(context.Background(), "conc", req); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	// Single-flight + cache: exactly one backend call per distinct text.
+	if got := atomic.LoadInt32(&calls); got != 25 {
+		t.Errorf("backend calls = %d, want 25", got)
+	}
+	if got := c.Monitor("conc").Count(); got != 25 {
+		t.Errorf("monitored calls = %d, want 25", got)
+	}
+}
+
+func TestInvokeCategoryAsync(t *testing.T) {
+	c := newClient(t, Config{})
+	svc, _ := countingService("a", "cat", nil)
+	if err := c.Register(svc); err != nil {
+		t.Fatal(err)
+	}
+	fut := c.InvokeCategoryAsync(context.Background(), "cat", service.Request{Text: "x"})
+	resp, err := fut.Get()
+	if err != nil || string(resp.Body) != "a:x" {
+		t.Errorf("async category = (%q, %v)", resp.Body, err)
+	}
+	// Unknown category surfaces through the future.
+	fut = c.InvokeCategoryAsync(context.Background(), "ghost", service.Request{})
+	if _, err := fut.Get(); !errors.Is(err, ErrUnknownCategory) {
+		t.Errorf("error = %v, want ErrUnknownCategory", err)
+	}
+}
+
+func TestCategoryCacheServesAcrossServices(t *testing.T) {
+	c := newClient(t, Config{})
+	a, aCalls := countingService("a", "dup", nil)
+	b, bCalls := countingService("b", "dup", nil)
+	if err := c.Register(a, WithCacheable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(b, WithCacheable()); err != nil {
+		t.Fatal(err)
+	}
+	req := service.Request{Op: "analyze", Text: "same"}
+	for i := 0; i < 5; i++ {
+		if _, _, err := c.InvokeCategory(context.Background(), "dup", req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if *aCalls+*bCalls != 1 {
+		t.Errorf("backend calls = %d, want 1 (category cache)", *aCalls+*bCalls)
+	}
+}
+
+func TestInvokeCategoryNoCacheOption(t *testing.T) {
+	c := newClient(t, Config{})
+	a, aCalls := countingService("a", "nc", nil)
+	if err := c.Register(a, WithCacheable()); err != nil {
+		t.Fatal(err)
+	}
+	req := service.Request{Text: "x"}
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.InvokeCategory(context.Background(), "nc", req, NoCache()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if *aCalls != 3 {
+		t.Errorf("calls = %d, want 3 with NoCache", *aCalls)
+	}
+}
+
+func TestEstimatesWithNoHistoryUseCostOnly(t *testing.T) {
+	c := newClient(t, Config{Scorer: rank.Weighted{W: rank.Weights{Beta: 1}}})
+	exp := service.Func{
+		Meta: service.Info{Name: "expensive", Category: "s", CostPerCall: 10},
+		Fn:   func(context.Context, service.Request) (service.Response, error) { return service.Response{}, nil },
+	}
+	chp := service.Func{
+		Meta: service.Info{Name: "cheap", Category: "s", CostPerCall: 1},
+		Fn:   func(context.Context, service.Request) (service.Response, error) { return service.Response{}, nil },
+	}
+	if err := c.Register(exp); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(chp); err != nil {
+		t.Fatal(err)
+	}
+	// Never invoked: latency predictions are unavailable, so estimates
+	// carry 0 response time and selection falls back to cost.
+	name, err := c.Select("s", service.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "cheap" {
+		t.Errorf("Select = %s, want cheap", name)
+	}
+}
+
+func TestPerCallRetryOverride(t *testing.T) {
+	c := newClient(t, Config{})
+	var n int32
+	flaky := service.Func{
+		Meta: service.Info{Name: "f", Category: "t"},
+		Fn: func(context.Context, service.Request) (service.Response, error) {
+			if atomic.AddInt32(&n, 1) < 4 {
+				return service.Response{}, service.ErrUnavailable
+			}
+			return service.Response{}, nil
+		},
+	}
+	// Registered with a single attempt...
+	if err := c.Register(flaky, WithRetry(failoverPolicy(1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke(context.Background(), "f", service.Request{}); err == nil {
+		t.Fatal("expected failure with 1 attempt")
+	}
+	// ...but a per-call override of 5 attempts succeeds.
+	atomic.StoreInt32(&n, 0)
+	if _, err := c.Invoke(context.Background(), "f", service.Request{}, Retry(failoverPolicy(5))); err != nil {
+		t.Errorf("override retry failed: %v", err)
+	}
+}
+
+func TestMonitorRecordsFailuresFromInvoke(t *testing.T) {
+	c := newClient(t, Config{})
+	dead := service.Func{
+		Meta: service.Info{Name: "dead", Category: "t"},
+		Fn: func(context.Context, service.Request) (service.Response, error) {
+			return service.Response{}, service.ErrUnavailable
+		},
+	}
+	if err := c.Register(dead, WithRetry(failoverPolicy(1))); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		_, _ = c.Invoke(context.Background(), "dead", service.Request{})
+	}
+	snap := c.Monitor("dead").Snapshot()
+	if snap.Count != 4 || snap.Failures != 4 || snap.Availability != 0 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestCloseStopsAsync(t *testing.T) {
+	c, err := NewClient(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, _ := countingService("s", "t", nil)
+	if err := c.Register(svc); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	fut := c.InvokeAsync(context.Background(), "s", service.Request{})
+	if _, err := fut.Get(); err == nil {
+		t.Error("async after Close should fail")
+	}
+}
+
+func TestInvokeContextCancellation(t *testing.T) {
+	c := newClient(t, Config{})
+	slow := service.Func{
+		Meta: service.Info{Name: "slow", Category: "t"},
+		Fn: func(ctx context.Context, _ service.Request) (service.Response, error) {
+			select {
+			case <-ctx.Done():
+				return service.Response{}, ctx.Err()
+			case <-time.After(10 * time.Second):
+				return service.Response{}, nil
+			}
+		},
+	}
+	if err := c.Register(slow); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Invoke(ctx, "slow", service.Request{}); err == nil {
+		t.Fatal("expected cancellation")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancellation not prompt")
+	}
+}
+
+// failoverPolicy is shorthand for a retry policy with n attempts.
+func failoverPolicy(n int) failover.RetryPolicy {
+	return failover.RetryPolicy{MaxAttempts: n}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"repro/internal/service"
+)
+
+// The paper: "In order to allow programs written in other languages to
+// access the rich SDK, the rich SDK can expose an HTTP interface allowing
+// applications written in other languages to use it." API returns that
+// interface:
+//
+//	POST /v1/invoke            {service, request}            -> Response
+//	POST /v1/invoke-category   {category, request}           -> {response, attempts}
+//	POST /v1/invoke-all        {category, request}           -> {results}
+//	POST /v1/rank              {category, request}           -> {ranked}
+//	GET  /v1/services                                        -> {services}
+//	GET  /v1/stats                                           -> {services: [snapshots]}
+//	GET  /v1/cache/stats                                     -> cache.Stats
+//	POST /v1/cache/invalidate                                -> 204
+
+// API wraps a Client as an http.Handler.
+type API struct {
+	client *Client
+	mux    *http.ServeMux
+}
+
+var _ http.Handler = (*API)(nil)
+
+// NewAPI returns the HTTP façade for client.
+func NewAPI(client *Client) *API {
+	a := &API{client: client, mux: http.NewServeMux()}
+	a.mux.HandleFunc("POST /v1/invoke", a.handleInvoke)
+	a.mux.HandleFunc("POST /v1/invoke-category", a.handleInvokeCategory)
+	a.mux.HandleFunc("POST /v1/invoke-all", a.handleInvokeAll)
+	a.mux.HandleFunc("POST /v1/rank", a.handleRank)
+	a.mux.HandleFunc("GET /v1/services", a.handleServices)
+	a.mux.HandleFunc("GET /v1/stats", a.handleStats)
+	a.mux.HandleFunc("GET /v1/cache/stats", a.handleCacheStats)
+	a.mux.HandleFunc("POST /v1/cache/invalidate", a.handleCacheInvalidate)
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+type invokeBody struct {
+	Service  string          `json:"service,omitempty"`
+	Category string          `json:"category,omitempty"`
+	Request  service.Request `json:"request"`
+	NoCache  bool            `json:"noCache,omitempty"`
+}
+
+func (a *API) decode(w http.ResponseWriter, r *http.Request, into *invokeBody) bool {
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(into); err != nil {
+		a.writeErr(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+func (a *API) writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSONStatus(w, status, map[string]string{"error": err.Error()})
+}
+
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownService), errors.Is(err, ErrUnknownCategory):
+		return http.StatusNotFound
+	case errors.Is(err, service.ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrClientQuota), errors.Is(err, service.ErrQuotaExceeded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, service.ErrUnavailable):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (a *API) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	var body invokeBody
+	if !a.decode(w, r, &body) {
+		return
+	}
+	var opts []InvokeOption
+	if body.NoCache {
+		opts = append(opts, NoCache())
+	}
+	resp, err := a.client.Invoke(r.Context(), body.Service, body.Request, opts...)
+	if err != nil {
+		a.writeErr(w, errStatus(err), err)
+		return
+	}
+	writeJSONStatus(w, http.StatusOK, resp)
+}
+
+func (a *API) handleInvokeCategory(w http.ResponseWriter, r *http.Request) {
+	var body invokeBody
+	if !a.decode(w, r, &body) {
+		return
+	}
+	var opts []InvokeOption
+	if body.NoCache {
+		opts = append(opts, NoCache())
+	}
+	resp, attempts, err := a.client.InvokeCategory(r.Context(), body.Category, body.Request, opts...)
+	if err != nil {
+		a.writeErr(w, errStatus(err), err)
+		return
+	}
+	type attemptJSON struct {
+		Service  string `json:"service"`
+		Attempts int    `json:"attempts"`
+		Error    string `json:"error,omitempty"`
+	}
+	out := struct {
+		Response service.Response `json:"response"`
+		Attempts []attemptJSON    `json:"attempts"`
+	}{Response: resp}
+	for _, at := range attempts {
+		aj := attemptJSON{Service: at.Service, Attempts: at.Attempts}
+		if at.Err != nil {
+			aj.Error = at.Err.Error()
+		}
+		out.Attempts = append(out.Attempts, aj)
+	}
+	writeJSONStatus(w, http.StatusOK, out)
+}
+
+func (a *API) handleInvokeAll(w http.ResponseWriter, r *http.Request) {
+	var body invokeBody
+	if !a.decode(w, r, &body) {
+		return
+	}
+	results, err := a.client.InvokeAll(r.Context(), body.Category, body.Request)
+	if err != nil {
+		a.writeErr(w, errStatus(err), err)
+		return
+	}
+	type resultJSON struct {
+		Service   string           `json:"service"`
+		Response  service.Response `json:"response"`
+		Error     string           `json:"error,omitempty"`
+		LatencyMS float64          `json:"latencyMs"`
+	}
+	out := make([]resultJSON, 0, len(results))
+	for _, res := range results {
+		rj := resultJSON{Service: res.Service, Response: res.Response, LatencyMS: float64(res.Latency.Microseconds()) / 1000}
+		if res.Err != nil {
+			rj.Error = res.Err.Error()
+		}
+		out = append(out, rj)
+	}
+	writeJSONStatus(w, http.StatusOK, map[string]any{"results": out})
+}
+
+func (a *API) handleRank(w http.ResponseWriter, r *http.Request) {
+	var body invokeBody
+	if !a.decode(w, r, &body) {
+		return
+	}
+	ranked, err := a.client.Rank(body.Category, body.Request)
+	if err != nil {
+		a.writeErr(w, errStatus(err), err)
+		return
+	}
+	writeJSONStatus(w, http.StatusOK, map[string]any{"ranked": ranked})
+}
+
+func (a *API) handleServices(w http.ResponseWriter, r *http.Request) {
+	names := a.client.Registry().Names()
+	infos := make([]service.Info, 0, len(names))
+	for _, n := range names {
+		if svc, ok := a.client.Registry().Get(n); ok {
+			infos = append(infos, svc.Info())
+		}
+	}
+	writeJSONStatus(w, http.StatusOK, map[string]any{"services": infos})
+}
+
+func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSONStatus(w, http.StatusOK, map[string]any{"services": a.client.Stats()})
+}
+
+func (a *API) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	writeJSONStatus(w, http.StatusOK, a.client.CacheStats())
+}
+
+func (a *API) handleCacheInvalidate(w http.ResponseWriter, r *http.Request) {
+	a.client.InvalidateCache()
+	w.WriteHeader(http.StatusNoContent)
+}

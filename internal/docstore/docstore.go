@@ -1,0 +1,222 @@
+// Package docstore persists documents fetched from web searches together
+// with the query and the time the query was made (paper §2.2: "it is thus
+// valuable to be able to store all of the documents from a particular Web
+// search along with the query itself and the time the query was made"), and
+// persists NLU analysis results so each document "only has to be analyzed
+// once" — avoiding repeat latency, monetary cost, and quota consumption.
+package docstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/nlu"
+)
+
+// SavedDoc is one stored document.
+type SavedDoc struct {
+	URL   string `json:"url"`
+	Title string `json:"title"`
+	// HTML is the raw fetched page.
+	HTML string `json:"html"`
+	// Text is the extracted plain text, ready for analysis.
+	Text string `json:"text"`
+}
+
+// SavedSearch is one stored search: the query, which engine ran it, when,
+// and every fetched document.
+type SavedSearch struct {
+	ID     string     `json:"id"`
+	Query  string     `json:"query"`
+	Engine string     `json:"engine"`
+	When   time.Time  `json:"when"`
+	Docs   []SavedDoc `json:"docs"`
+}
+
+// Meta is a stored search's summary line.
+type Meta struct {
+	ID     string    `json:"id"`
+	Query  string    `json:"query"`
+	Engine string    `json:"engine"`
+	When   time.Time `json:"when"`
+	Docs   int       `json:"docs"`
+}
+
+// Store is a directory-backed document store. Searches live under
+// dir/searches, analyses under dir/analyses. Safe for concurrent use by a
+// single process via write-to-temp-then-rename.
+type Store struct {
+	dir string
+	clk clock.Clock
+}
+
+// New opens (creating if needed) a store rooted at dir.
+func New(dir string, clk clock.Clock) (*Store, error) {
+	if clk == nil {
+		clk = clock.Real()
+	}
+	for _, sub := range []string{"searches", "analyses"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("docstore: create %s: %w", sub, err)
+		}
+	}
+	return &Store{dir: dir, clk: clk}, nil
+}
+
+// SaveSearch persists a search and returns its ID. The ID is derived from
+// query, engine, and timestamp, so re-running the same query later stores a
+// distinct snapshot — the paper notes "the results from a Web search can
+// change over time".
+func (s *Store) SaveSearch(query, engine string, docs []SavedDoc) (string, error) {
+	when := s.clk.Now()
+	id := searchID(query, engine, when)
+	saved := SavedSearch{ID: id, Query: query, Engine: engine, When: when, Docs: docs}
+	if err := writeJSON(filepath.Join(s.dir, "searches", id+".json"), saved); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+func searchID(query, engine string, when time.Time) string {
+	h := sha256.Sum256([]byte(query + "\x00" + engine + "\x00" + when.Format(time.RFC3339Nano)))
+	return hex.EncodeToString(h[:8])
+}
+
+// LoadSearch retrieves a stored search by ID.
+func (s *Store) LoadSearch(id string) (SavedSearch, error) {
+	var saved SavedSearch
+	if err := readJSON(filepath.Join(s.dir, "searches", id+".json"), &saved); err != nil {
+		return SavedSearch{}, err
+	}
+	return saved, nil
+}
+
+// List returns metadata for every stored search, most recent first.
+func (s *Store) List() ([]Meta, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "searches"))
+	if err != nil {
+		return nil, fmt.Errorf("docstore: list: %w", err)
+	}
+	metas := make([]Meta, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		var saved SavedSearch
+		if err := readJSON(filepath.Join(s.dir, "searches", e.Name()), &saved); err != nil {
+			return nil, err
+		}
+		metas = append(metas, Meta{
+			ID: saved.ID, Query: saved.Query, Engine: saved.Engine,
+			When: saved.When, Docs: len(saved.Docs),
+		})
+	}
+	sort.Slice(metas, func(i, j int) bool { return metas[i].When.After(metas[j].When) })
+	return metas, nil
+}
+
+// Texts returns the extracted texts of a stored search's documents, the
+// form consumed by NLU analysis.
+func (s *Store) Texts(id string) ([]string, error) {
+	saved, err := s.LoadSearch(id)
+	if err != nil {
+		return nil, err
+	}
+	texts := make([]string, len(saved.Docs))
+	for i, d := range saved.Docs {
+		texts[i] = d.Text
+	}
+	return texts, nil
+}
+
+// SaveAnalysis persists the analysis an engine produced for a document
+// (keyed by content, so the same document re-fetched under another URL
+// still hits). Overwrites are allowed: analyses are deterministic per
+// engine, so a rewrite is a no-op semantically.
+func (s *Store) SaveAnalysis(docText, engine string, a nlu.Analysis) error {
+	return writeJSON(s.analysisPath(docText, engine), a)
+}
+
+// LoadAnalysis retrieves a stored analysis; ok is false when the document
+// has not been analyzed by that engine yet.
+func (s *Store) LoadAnalysis(docText, engine string) (nlu.Analysis, bool, error) {
+	var a nlu.Analysis
+	err := readJSON(s.analysisPath(docText, engine), &a)
+	if err != nil {
+		if os.IsNotExist(unwrapPathError(err)) {
+			return nlu.Analysis{}, false, nil
+		}
+		return nlu.Analysis{}, false, err
+	}
+	return a, true, nil
+}
+
+// AnalyzeOnce returns the stored analysis if present, otherwise runs
+// analyze, stores, and returns its result. cached reports whether the
+// store satisfied the request.
+func (s *Store) AnalyzeOnce(docText, engine string, analyze func(string) nlu.Analysis) (a nlu.Analysis, cached bool, err error) {
+	if a, ok, err := s.LoadAnalysis(docText, engine); err != nil {
+		return nlu.Analysis{}, false, err
+	} else if ok {
+		return a, true, nil
+	}
+	a = analyze(docText)
+	if err := s.SaveAnalysis(docText, engine, a); err != nil {
+		return nlu.Analysis{}, false, err
+	}
+	return a, false, nil
+}
+
+func (s *Store) analysisPath(docText, engine string) string {
+	h := sha256.Sum256([]byte(engine + "\x00" + docText))
+	return filepath.Join(s.dir, "analyses", hex.EncodeToString(h[:16])+".json")
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("docstore: encode: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("docstore: write: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("docstore: rename: %w", err)
+	}
+	return nil
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("docstore: read: %w", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("docstore: decode %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+func unwrapPathError(err error) error {
+	for {
+		type unwrapper interface{ Unwrap() error }
+		u, ok := err.(unwrapper)
+		if !ok {
+			return err
+		}
+		next := u.Unwrap()
+		if next == nil {
+			return err
+		}
+		err = next
+	}
+}

@@ -1,0 +1,193 @@
+package docstore
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/nlu"
+)
+
+func newStore(t *testing.T) (*Store, *clock.Virtual) {
+	t.Helper()
+	v := clock.NewVirtual(time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC))
+	s, err := New(t.TempDir(), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, v
+}
+
+func sampleDocs() []SavedDoc {
+	return []SavedDoc{
+		{URL: "http://web.local/docs/doc-1", Title: "One", HTML: "<p>alpha</p>", Text: "alpha"},
+		{URL: "http://web.local/docs/doc-2", Title: "Two", HTML: "<p>beta</p>", Text: "beta"},
+	}
+}
+
+func TestSaveAndLoadSearch(t *testing.T) {
+	s, _ := newStore(t)
+	id, err := s.SaveSearch("acme earnings", "search-g", sampleDocs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved, err := s.LoadSearch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved.Query != "acme earnings" || saved.Engine != "search-g" || len(saved.Docs) != 2 {
+		t.Errorf("saved = %+v", saved)
+	}
+	if saved.When.IsZero() {
+		t.Error("timestamp not recorded")
+	}
+}
+
+func TestSameQueryLaterIsDistinctSnapshot(t *testing.T) {
+	s, v := newStore(t)
+	id1, err := s.SaveSearch("q", "e", sampleDocs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Advance(time.Hour)
+	id2, err := s.SaveSearch("q", "e", sampleDocs()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 {
+		t.Fatal("re-running a query overwrote the earlier snapshot")
+	}
+	s1, _ := s.LoadSearch(id1)
+	s2, _ := s.LoadSearch(id2)
+	if len(s1.Docs) != 2 || len(s2.Docs) != 1 {
+		t.Errorf("snapshots corrupted: %d, %d docs", len(s1.Docs), len(s2.Docs))
+	}
+}
+
+func TestListMostRecentFirst(t *testing.T) {
+	s, v := newStore(t)
+	if _, err := s.SaveSearch("first", "e", nil); err != nil {
+		t.Fatal(err)
+	}
+	v.Advance(time.Hour)
+	if _, err := s.SaveSearch("second", "e", sampleDocs()); err != nil {
+		t.Fatal(err)
+	}
+	metas, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 2 || metas[0].Query != "second" || metas[1].Query != "first" {
+		t.Errorf("List = %+v", metas)
+	}
+	if metas[0].Docs != 2 {
+		t.Errorf("doc count = %d", metas[0].Docs)
+	}
+}
+
+func TestTexts(t *testing.T) {
+	s, _ := newStore(t)
+	id, err := s.SaveSearch("q", "e", sampleDocs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts, err := s.Texts(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(texts) != 2 || texts[0] != "alpha" || texts[1] != "beta" {
+		t.Errorf("Texts = %v", texts)
+	}
+}
+
+func TestLoadSearchMissing(t *testing.T) {
+	s, _ := newStore(t)
+	if _, err := s.LoadSearch("nope"); err == nil {
+		t.Error("expected error for missing search")
+	}
+}
+
+func TestAnalysisRoundTrip(t *testing.T) {
+	s, _ := newStore(t)
+	a := nlu.Analysis{Engine: "nlu-alpha", Sentiment: 0.4,
+		Entities: []nlu.Mention{{EntityID: "country:us", Surface: "US", Kind: "Country"}}}
+	if err := s.SaveAnalysis("some document", "nlu-alpha", a); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.LoadAnalysis("some document", "nlu-alpha")
+	if err != nil || !ok {
+		t.Fatalf("LoadAnalysis = (%v, %v)", ok, err)
+	}
+	if got.Sentiment != 0.4 || len(got.Entities) != 1 {
+		t.Errorf("got = %+v", got)
+	}
+}
+
+func TestLoadAnalysisMissingIsNotError(t *testing.T) {
+	s, _ := newStore(t)
+	_, ok, err := s.LoadAnalysis("never analyzed", "nlu-alpha")
+	if err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+	if ok {
+		t.Error("ok = true for missing analysis")
+	}
+}
+
+func TestAnalysisKeyedByEngine(t *testing.T) {
+	s, _ := newStore(t)
+	if err := s.SaveAnalysis("doc", "alpha", nlu.Analysis{Engine: "alpha"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.LoadAnalysis("doc", "beta"); ok {
+		t.Error("analysis leaked across engines")
+	}
+}
+
+func TestAnalyzeOnce(t *testing.T) {
+	s, _ := newStore(t)
+	calls := 0
+	analyze := func(text string) nlu.Analysis {
+		calls++
+		return nlu.Analysis{Engine: "x", Sentiment: 0.9}
+	}
+	a1, cached1, err := s.AnalyzeOnce("document body", "x", analyze)
+	if err != nil || cached1 {
+		t.Fatalf("first = (%v, %v)", cached1, err)
+	}
+	a2, cached2, err := s.AnalyzeOnce("document body", "x", analyze)
+	if err != nil || !cached2 {
+		t.Fatalf("second = (%v, %v), want cached", cached2, err)
+	}
+	if calls != 1 {
+		t.Errorf("analyze ran %d times, want 1", calls)
+	}
+	if a1.Sentiment != a2.Sentiment {
+		t.Error("cached analysis differs")
+	}
+}
+
+func TestStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s1.SaveSearch("persist", "e", sampleDocs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.SaveAnalysis("doc", "e", nlu.Analysis{Engine: "e"}); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.LoadSearch(id); err != nil {
+		t.Errorf("search lost across reopen: %v", err)
+	}
+	if _, ok, _ := s2.LoadAnalysis("doc", "e"); !ok {
+		t.Error("analysis lost across reopen")
+	}
+}

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/aggregate"
+	"repro/internal/docstore"
+	"repro/internal/lexicon"
+	"repro/internal/nlu"
+	"repro/internal/service"
+	"repro/internal/simsvc"
+	"repro/internal/spell"
+	"repro/internal/webcorpus"
+)
+
+// --- E6: multi-service NLU consensus (Fig. 3, §2.1–2.2) ---
+
+// E6Row is one strategy's entity-recognition quality over the corpus.
+type E6Row struct {
+	Strategy string
+	PRF      aggregate.PRF
+}
+
+// RunE6 analyzes a generated corpus with three NLU engine profiles and
+// compares each engine's entity quality against majority-vote consensus.
+func RunE6(scale Scale) ([]E6Row, Table, error) {
+	numDocs := scale.n(150)
+	corpus := webcorpus.Generate(webcorpus.Config{Seed: 99, NumDocs: numDocs})
+	engines := []*nlu.Engine{
+		nlu.NewEngine(nlu.ProfileAlpha),
+		nlu.NewEngine(nlu.ProfileBeta),
+		nlu.NewEngine(nlu.ProfileGamma),
+	}
+	sums := make(map[string]*aggregate.PRF)
+	for _, name := range []string{"nlu-alpha", "nlu-beta", "nlu-gamma", "consensus>=2/3"} {
+		sums[name] = &aggregate.PRF{}
+	}
+	addPRF := func(dst *aggregate.PRF, s aggregate.PRF) {
+		dst.TP += s.TP
+		dst.FP += s.FP
+		dst.FN += s.FN
+	}
+	for _, doc := range corpus.Docs {
+		analyses := make([]nlu.Analysis, len(engines))
+		for i, e := range engines {
+			analyses[i] = e.Analyze(doc.Body)
+			prf := aggregate.Score(aggregate.KnownOnly(analyses[i].EntityIDs()), doc.TrueEntities)
+			addPRF(sums[e.Profile().Name], prf)
+		}
+		cons := aggregate.Consensus(analyses)
+		voted := aggregate.KnownOnly(aggregate.FilterConfident(cons, 0.5))
+		addPRF(sums["consensus>=2/3"], aggregate.Score(voted, doc.TrueEntities))
+	}
+	finish := func(p *aggregate.PRF) aggregate.PRF {
+		out := *p
+		if out.TP+out.FP > 0 {
+			out.Precision = float64(out.TP) / float64(out.TP+out.FP)
+		}
+		if out.TP+out.FN > 0 {
+			out.Recall = float64(out.TP) / float64(out.TP+out.FN)
+		}
+		if out.Precision+out.Recall > 0 {
+			out.F1 = 2 * out.Precision * out.Recall / (out.Precision + out.Recall)
+		}
+		return out
+	}
+	order := []string{"nlu-alpha", "nlu-beta", "nlu-gamma", "consensus>=2/3"}
+	var rows []E6Row
+	for _, name := range order {
+		rows = append(rows, E6Row{Strategy: name, PRF: finish(sums[name])})
+	}
+	t := Table{
+		ID:     "E6",
+		Title:  fmt.Sprintf("Entity recognition over %d documents: single engines vs consensus", numDocs),
+		Claim:  "entities identified by more services deserve higher confidence (§2.1)",
+		Header: []string{"strategy", "precision", "recall", "f1"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Strategy, f2(r.PRF.Precision), f2(r.PRF.Recall), f2(r.PRF.F1)})
+	}
+	cons := rows[len(rows)-1].PRF
+	gamma := rows[2].PRF
+	t.Notes = fmt.Sprintf("consensus F1 %.2f vs noisiest single engine %.2f", cons.F1, gamma.F1)
+	return rows, t, nil
+}
+
+// --- E7: persistent analysis results + quotas (§2.2) ---
+
+// E7Row is one pass over the document set.
+type E7Row struct {
+	Round       int
+	Invocations int64
+	Cached      int
+	Elapsed     time.Duration
+	QuotaDenied int
+}
+
+// RunE7 analyzes the same document set three times. With the analysis store
+// only the first pass invokes the (quota-limited, slow) service; without it
+// the quota runs out mid-workload.
+func RunE7(scale Scale) ([]E7Row, Table, error) {
+	numDocs := scale.n(120)
+	corpus := webcorpus.Generate(webcorpus.Config{Seed: 5, NumDocs: numDocs})
+	engine := nlu.NewEngine(nlu.ProfileAlpha)
+	quota := service.NewQuota(numDocs+numDocs/2, time.Hour, nil) // 1.5 passes worth
+	backend := simsvc.New(simsvc.Config{
+		Info:    service.Info{Name: "nlu-metered", Category: "nlu"},
+		Latency: simsvc.Constant{D: 500 * time.Microsecond},
+		Quota:   quota,
+		Handler: func(_ context.Context, req service.Request) (service.Response, error) {
+			return engine.Analyze(req.Text).Encode()
+		},
+	})
+	dir, err := os.MkdirTemp("", "e7-docstore-*")
+	if err != nil {
+		return nil, Table{}, err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	store, err := docstore.New(dir, nil)
+	if err != nil {
+		return nil, Table{}, err
+	}
+
+	analyzeViaService := func(text string) (nlu.Analysis, error) {
+		resp, err := backend.Invoke(context.Background(), service.Request{Op: "analyze", Text: text})
+		if err != nil {
+			return nlu.Analysis{}, err
+		}
+		return nlu.DecodeAnalysis(resp)
+	}
+	var rows []E7Row
+	for round := 1; round <= 3; round++ {
+		before := backend.Invocations()
+		cached := 0
+		denied := 0
+		start := time.Now()
+		for _, doc := range corpus.Docs {
+			a, ok, err := store.LoadAnalysis(doc.Body, "nlu-alpha")
+			if err != nil {
+				return nil, Table{}, err
+			}
+			if ok {
+				cached++
+				_ = a
+				continue
+			}
+			a, err = analyzeViaService(doc.Body)
+			if err != nil {
+				if errors.Is(err, service.ErrQuotaExceeded) {
+					denied++
+					continue
+				}
+				return nil, Table{}, err
+			}
+			if err := store.SaveAnalysis(doc.Body, "nlu-alpha", a); err != nil {
+				return nil, Table{}, err
+			}
+		}
+		rows = append(rows, E7Row{
+			Round:       round,
+			Invocations: backend.Invocations() - before,
+			Cached:      cached,
+			Elapsed:     time.Since(start),
+			QuotaDenied: denied,
+		})
+	}
+	t := Table{
+		ID:     "E7",
+		Title:  fmt.Sprintf("Re-analyzing %d documents x3 with persisted analysis results", numDocs),
+		Claim:  "persisting results means each document is analyzed once, saving latency, cost, and quota (§2.2)",
+		Header: []string{"round", "service_calls", "served_from_store", "elapsed", "quota_denied"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			d(int64(r.Round)), d(r.Invocations), d(int64(r.Cached)), r.Elapsed.String(), d(int64(r.QuotaDenied)),
+		})
+	}
+	t.Notes = fmt.Sprintf("rounds 2-3 issue %d service calls and stay within quota; round-2 speedup %.1fx",
+		rows[1].Invocations+rows[2].Invocations,
+		float64(rows[0].Elapsed)/float64(max64(int64(rows[1].Elapsed), 1)))
+	return rows, t, nil
+}
+
+// --- E10: local vs remote services (spell checker, §3) ---
+
+// E10Row is one deployment's per-call latency.
+type E10Row struct {
+	Deployment string
+	PerCall    time.Duration
+	Cost       float64
+}
+
+// RunE10 runs the same spell checker locally and behind a simulated remote
+// service with network latency, measuring per-call cost.
+func RunE10(scale Scale) ([]E10Row, Table, error) {
+	calls := scale.n(300)
+	checker := spell.NewChecker(lexicon.Dictionary(), nil)
+	remote := simsvc.New(simsvc.Config{
+		Info:    service.Info{Name: "spell-remote", Category: "spell", CostPerCall: 0.0005},
+		Latency: simsvc.Lognormal{Median: 2 * time.Millisecond, Sigma: 0.2},
+		Seed:    3,
+		Handler: func(ctx context.Context, req service.Request) (service.Response, error) {
+			return checker.Service(service.Info{Name: "spell-remote", Category: "spell"}).Invoke(ctx, req)
+		},
+	})
+	text := "The markte in Germny grew while the economi improved."
+
+	localStart := time.Now()
+	for i := 0; i < calls; i++ {
+		_ = checker.Check(text)
+	}
+	localElapsed := time.Since(localStart)
+
+	remoteStart := time.Now()
+	for i := 0; i < calls; i++ {
+		if _, err := remote.Invoke(context.Background(), service.Request{Op: "spellcheck", Text: text}); err != nil {
+			return nil, Table{}, err
+		}
+	}
+	remoteElapsed := time.Since(remoteStart)
+
+	rows := []E10Row{
+		{Deployment: "local (in-process)", PerCall: localElapsed / time.Duration(calls), Cost: 0},
+		{Deployment: "remote service", PerCall: remoteElapsed / time.Duration(calls), Cost: 0.0005},
+	}
+	t := Table{
+		ID:     "E10",
+		Title:  fmt.Sprintf("Spell checking %d calls: local checker vs remote service", calls),
+		Claim:  "the local spell checker is faster (no remote communication) and free (§3)",
+		Header: []string{"deployment", "per_call", "cost_per_call"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Deployment, r.PerCall.String(), f(r.Cost)})
+	}
+	t.Notes = fmt.Sprintf("local is %.0fx faster per call",
+		float64(rows[1].PerCall)/float64(max64(int64(rows[0].PerCall), 1)))
+	return rows, t, nil
+}

@@ -1,0 +1,438 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/failover"
+	"repro/internal/rank"
+	"repro/internal/service"
+	"repro/internal/simsvc"
+	"repro/internal/xrand"
+)
+
+// Scale shrinks experiment sizes for quick runs (benchmarks use Scale < 1).
+type Scale float64
+
+func (s Scale) n(base int) int {
+	if s <= 0 {
+		s = 1
+	}
+	out := int(float64(base) * float64(s))
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// --- E1: caching avoids redundant service calls (Fig. 2, §2) ---
+
+// E1Row is one cache-size configuration's outcome.
+type E1Row struct {
+	CacheSize   int
+	HitRatio    float64
+	MeanLatency time.Duration
+	RemoteCalls int64
+}
+
+// RunE1 replays a Zipf-skewed document-analysis workload against a remote
+// NLU service with constant latency, sweeping the SDK cache size.
+func RunE1(scale Scale) ([]E1Row, Table, error) {
+	const (
+		numDocs     = 400
+		remoteLatMs = 2
+		zipfTheta   = 1.1
+	)
+	requests := scale.n(3000)
+	docs := make([]string, numDocs)
+	for i := range docs {
+		docs[i] = fmt.Sprintf("Document %d discusses the market with growth and decline in region %d.", i, i%17)
+	}
+	var rows []E1Row
+	for _, cacheSize := range []int{0, 25, 100, 400} {
+		client, err := core.NewClient(core.Config{CacheSize: max(cacheSize, 1)})
+		if err != nil {
+			return nil, Table{}, err
+		}
+		backend := simsvc.New(simsvc.Config{
+			Info:    service.Info{Name: "nlu-remote", Category: "nlu", CostPerCall: 0.001},
+			Latency: simsvc.Constant{D: remoteLatMs * time.Millisecond},
+			Seed:    1,
+		})
+		opts := []core.RegisterOption{}
+		if cacheSize > 0 {
+			opts = append(opts, core.WithCacheable())
+		}
+		if err := client.Register(backend, opts...); err != nil {
+			client.Close()
+			return nil, Table{}, err
+		}
+		rng := xrand.New(7)
+		zipf := xrand.NewZipf(rng, zipfTheta, uint64(numDocs))
+		start := time.Now()
+		for i := 0; i < requests; i++ {
+			doc := docs[zipf.Next()]
+			if _, err := client.Invoke(context.Background(), "nlu-remote", service.Request{Op: "analyze", Text: doc}); err != nil {
+				client.Close()
+				return nil, Table{}, err
+			}
+		}
+		elapsed := time.Since(start)
+		st := client.CacheStats()
+		rows = append(rows, E1Row{
+			CacheSize:   cacheSize,
+			HitRatio:    st.HitRatio(),
+			MeanLatency: elapsed / time.Duration(requests),
+			RemoteCalls: backend.Invocations(),
+		})
+		client.Close()
+	}
+	t := Table{
+		ID:     "E1",
+		Title:  "Response caching vs cache size (Zipf workload)",
+		Claim:  "caching avoids redundant service calls and cuts latency (§2)",
+		Header: []string{"cache_size", "hit_ratio", "mean_latency", "remote_calls"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			d(int64(r.CacheSize)), f2(r.HitRatio), r.MeanLatency.String(), d(r.RemoteCalls),
+		})
+	}
+	base, best := rows[0], rows[len(rows)-1]
+	t.Notes = fmt.Sprintf("full cache cuts remote calls %dx and mean latency %.1fx vs no cache",
+		base.RemoteCalls/max64(best.RemoteCalls, 1),
+		float64(base.MeanLatency)/float64(max64(int64(best.MeanLatency), 1)))
+	return rows, t, nil
+}
+
+// --- E2: score-based ranking (Equations 1 and 2, §2) ---
+
+// E2Row is one weighting's winners under both formulas.
+type E2Row struct {
+	Weights   rank.Weights
+	Eq1Winner string
+	Eq2Winner string
+}
+
+// RunE2 ranks a fixed service population under several weightings with both
+// scoring formulas.
+func RunE2() ([]E2Row, Table, error) {
+	// Candidates mirror real trade-offs: a fast expensive service, a slow
+	// cheap one, and a balanced high-quality one.
+	ests := []rank.Estimate{
+		{Name: "fast-premium", ResponseTimeMS: 12, Cost: 8.0, Quality: 0.85},
+		{Name: "slow-budget", ResponseTimeMS: 180, Cost: 0.4, Quality: 0.80},
+		{Name: "balanced-quality", ResponseTimeMS: 60, Cost: 2.5, Quality: 0.95},
+	}
+	weightings := []rank.Weights{
+		{Alpha: 1, Beta: 0, Gamma: 0},
+		{Alpha: 0, Beta: 1, Gamma: 0},
+		{Alpha: 0, Beta: 0, Gamma: 1},
+		{Alpha: 1, Beta: 1, Gamma: 1},
+		{Alpha: 0.01, Beta: 1, Gamma: 1},
+	}
+	var rows []E2Row
+	for _, w := range weightings {
+		b1, err := rank.Best(ests, rank.Weighted{W: w})
+		if err != nil {
+			return nil, Table{}, err
+		}
+		b2, err := rank.Best(ests, rank.Normalized{W: w})
+		if err != nil {
+			return nil, Table{}, err
+		}
+		rows = append(rows, E2Row{Weights: w, Eq1Winner: b1.Name, Eq2Winner: b2.Name})
+	}
+	t := Table{
+		ID:     "E2",
+		Title:  "Service selection under Eq.1 (weighted) and Eq.2 (normalized)",
+		Claim:  "scores rank services by response time, cost, and quality with user weights (§2)",
+		Header: []string{"alpha", "beta", "gamma", "eq1_winner", "eq2_winner"},
+	}
+	disagreements := 0
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			f(r.Weights.Alpha), f(r.Weights.Beta), f(r.Weights.Gamma), r.Eq1Winner, r.Eq2Winner,
+		})
+		if r.Eq1Winner != r.Eq2Winner {
+			disagreements++
+		}
+	}
+	t.Notes = fmt.Sprintf("single-factor weights pick the expected extremes; formulas disagree on %d/%d weightings (normalization rebalances raw magnitudes)", disagreements, len(rows))
+	return rows, t, nil
+}
+
+// --- E3: retry + ranked failover restores availability (§2.1) ---
+
+// E3Row is one failure rate's success ratios per strategy.
+type E3Row struct {
+	FailRate      float64
+	Naive         float64
+	Retry         float64
+	ChainFailover float64
+}
+
+// RunE3 sweeps per-service transient failure rates and compares a single
+// attempt, per-service retries, and a ranked failover chain of three
+// services.
+func RunE3(scale Scale) ([]E3Row, Table, error) {
+	requests := scale.n(2000)
+	var rows []E3Row
+	for _, p := range []float64{0, 0.1, 0.2, 0.3, 0.5} {
+		mk := func(name string, seed int64) *simsvc.Service {
+			return simsvc.New(simsvc.Config{
+				Info:     service.Info{Name: name, Category: "nlu"},
+				FailRate: p,
+				Seed:     seed,
+			})
+		}
+		naiveSvc := mk("naive", 11)
+		retrySvc := mk("retry", 22)
+		chain := []failover.Step{
+			{Service: mk("chain-1", 33), Policy: failover.RetryPolicy{MaxAttempts: 2}},
+			{Service: mk("chain-2", 44), Policy: failover.RetryPolicy{MaxAttempts: 2}},
+			{Service: mk("chain-3", 55), Policy: failover.RetryPolicy{MaxAttempts: 2}},
+		}
+		var naiveOK, retryOK, chainOK int
+		ctx := context.Background()
+		req := service.Request{Op: "analyze", Text: "doc"}
+		for i := 0; i < requests; i++ {
+			if _, err := naiveSvc.Invoke(ctx, req); err == nil {
+				naiveOK++
+			}
+			if _, _, err := failover.Invoke(ctx, nil, retrySvc, req, failover.RetryPolicy{MaxAttempts: 3}); err == nil {
+				retryOK++
+			}
+			if _, _, err := failover.Chain(ctx, nil, chain, req); err == nil {
+				chainOK++
+			}
+		}
+		n := float64(requests)
+		rows = append(rows, E3Row{
+			FailRate:      p,
+			Naive:         float64(naiveOK) / n,
+			Retry:         float64(retryOK) / n,
+			ChainFailover: float64(chainOK) / n,
+		})
+	}
+	t := Table{
+		ID:     "E3",
+		Title:  "Effective availability vs per-service failure rate",
+		Claim:  "retrying and moving to lower-ranked services finds a responsive one (§2.1)",
+		Header: []string{"fail_rate", "single_attempt", "retry_x3", "failover_chain_3x2"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{f2(r.FailRate), f2(r.Naive), f2(r.Retry), f2(r.ChainFailover)})
+	}
+	worst := rows[len(rows)-1]
+	t.Notes = fmt.Sprintf("at %.0f%% failures the chain sustains %.1f%% availability vs %.1f%% naive",
+		worst.FailRate*100, worst.ChainFailover*100, worst.Naive*100)
+	return rows, t, nil
+}
+
+// --- E4: sync vs async vs parallel invocation (§2, §2.1) ---
+
+// E4Row is one strategy's wall-clock time.
+type E4Row struct {
+	Strategy string
+	Elapsed  time.Duration
+}
+
+// RunE4 invokes three services (5 ms each) per round, sequentially,
+// asynchronously through the bounded pool, and redundantly in parallel.
+func RunE4(scale Scale) ([]E4Row, Table, error) {
+	rounds := scale.n(20)
+	const perCall = 5 * time.Millisecond
+	client, err := core.NewClient(core.Config{AsyncWorkers: 8})
+	if err != nil {
+		return nil, Table{}, err
+	}
+	defer client.Close()
+	names := []string{"svc-a", "svc-b", "svc-c"}
+	for i, n := range names {
+		err := client.Register(simsvc.New(simsvc.Config{
+			Info:    service.Info{Name: n, Category: "multi"},
+			Latency: simsvc.Constant{D: perCall},
+			Seed:    int64(i),
+		}))
+		if err != nil {
+			return nil, Table{}, err
+		}
+	}
+	ctx := context.Background()
+	req := service.Request{Op: "analyze", Text: "doc"}
+
+	syncStart := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, n := range names {
+			if _, err := client.Invoke(ctx, n, req); err != nil {
+				return nil, Table{}, err
+			}
+		}
+	}
+	syncElapsed := time.Since(syncStart)
+
+	asyncStart := time.Now()
+	for r := 0; r < rounds; r++ {
+		futs := make([]interface {
+			Get() (service.Response, error)
+		}, 0, len(names))
+		for _, n := range names {
+			futs = append(futs, client.InvokeAsync(ctx, n, req))
+		}
+		for _, fut := range futs {
+			if _, err := fut.Get(); err != nil {
+				return nil, Table{}, err
+			}
+		}
+	}
+	asyncElapsed := time.Since(asyncStart)
+
+	parStart := time.Now()
+	for r := 0; r < rounds; r++ {
+		results, err := client.InvokeAll(ctx, "multi", req)
+		if err != nil {
+			return nil, Table{}, err
+		}
+		for _, res := range results {
+			if res.Err != nil {
+				return nil, Table{}, res.Err
+			}
+		}
+	}
+	parElapsed := time.Since(parStart)
+
+	rows := []E4Row{
+		{Strategy: "synchronous (blocking)", Elapsed: syncElapsed},
+		{Strategy: "async futures (pool)", Elapsed: asyncElapsed},
+		{Strategy: "parallel redundant", Elapsed: parElapsed},
+	}
+	t := Table{
+		ID:     "E4",
+		Title:  fmt.Sprintf("Invoking 3 services x %d rounds (%v per call)", rounds, perCall),
+		Claim:  "async calls let the application continue; parallel calls cost ~max not ~sum (§2, §2.1)",
+		Header: []string{"strategy", "wall_clock", "per_round"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Strategy, r.Elapsed.String(), (r.Elapsed / time.Duration(rounds)).String()})
+	}
+	t.Notes = fmt.Sprintf("parallel is %.1fx faster than sequential (ideal 3x)",
+		float64(syncElapsed)/float64(parElapsed))
+	return rows, t, nil
+}
+
+// --- E5: size-dependent latency and parameterized prediction (§2) ---
+
+// E5Row is one object size's outcome.
+type E5Row struct {
+	SizeKB        int
+	S1Latency     time.Duration
+	S2Latency     time.Duration
+	PredictChoice string
+	OracleChoice  string
+}
+
+// RunE5 trains latency predictors on two storage services with crossing
+// latency curves, then checks selection on both sides of the crossover.
+func RunE5(scale Scale) ([]E5Row, Table, error) {
+	client, err := core.NewClient(core.Config{
+		Scorer: rank.Weighted{W: rank.Weights{Alpha: 1}}, // latency-only selection
+	})
+	if err != nil {
+		return nil, Table{}, err
+	}
+	defer client.Close()
+	// s1 wins small objects, s2 wins large (paper §2's example).
+	s1 := simsvc.New(simsvc.Config{
+		Info:    service.Info{Name: "store-s1", Category: "storage"},
+		Latency: simsvc.SizeLinear{Base: 200 * time.Microsecond, PerKB: 20 * time.Microsecond, Jitter: 0.05},
+		Seed:    1,
+	})
+	s2 := simsvc.New(simsvc.Config{
+		Info:    service.Info{Name: "store-s2", Category: "storage"},
+		Latency: simsvc.SizeLinear{Base: 1200 * time.Microsecond, PerKB: 2 * time.Microsecond, Jitter: 0.05},
+		Seed:    2,
+	})
+	if err := client.Register(s1); err != nil {
+		return nil, Table{}, err
+	}
+	if err := client.Register(s2); err != nil {
+		return nil, Table{}, err
+	}
+	// Training phase: store objects of varied sizes on both services.
+	ctx := context.Background()
+	trainSizes := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	trainReps := scale.n(3)
+	for rep := 0; rep < trainReps; rep++ {
+		for _, kb := range trainSizes {
+			req := service.Request{Op: "put", Key: fmt.Sprintf("k%d", kb), Data: make([]byte, kb*1024)}
+			if _, err := client.Invoke(ctx, "store-s1", req); err != nil {
+				return nil, Table{}, err
+			}
+			if _, err := client.Invoke(ctx, "store-s2", req); err != nil {
+				return nil, Table{}, err
+			}
+		}
+	}
+	// Evaluation: predict-and-select per size.
+	var rows []E5Row
+	correct := 0
+	for _, kb := range []int{1, 8, 32, 56, 128, 512, 1024} {
+		params := []float64{float64(kb * 1024)}
+		p1, err := client.PredictLatency("store-s1", params)
+		if err != nil {
+			return nil, Table{}, err
+		}
+		p2, err := client.PredictLatency("store-s2", params)
+		if err != nil {
+			return nil, Table{}, err
+		}
+		choice := "store-s1"
+		if p2 < p1 {
+			choice = "store-s2"
+		}
+		// Oracle from the true latency models (no jitter).
+		true1 := 200*time.Microsecond + time.Duration(kb)*20*time.Microsecond
+		true2 := 1200*time.Microsecond + time.Duration(kb)*2*time.Microsecond
+		oracle := "store-s1"
+		if true2 < true1 {
+			oracle = "store-s2"
+		}
+		if choice == oracle {
+			correct++
+		}
+		rows = append(rows, E5Row{
+			SizeKB: kb, S1Latency: p1, S2Latency: p2,
+			PredictChoice: choice, OracleChoice: oracle,
+		})
+	}
+	t := Table{
+		ID:     "E5",
+		Title:  "Latency prediction from object size; selection across the crossover",
+		Claim:  "s1 has lowest latency for small objects, s2 for large; parameterized prediction picks correctly (§2)",
+		Header: []string{"size_kb", "pred_s1", "pred_s2", "predicted_choice", "oracle_choice"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			d(int64(r.SizeKB)), r.S1Latency.String(), r.S2Latency.String(), r.PredictChoice, r.OracleChoice,
+		})
+	}
+	t.Notes = fmt.Sprintf("prediction matches the oracle on %d/%d sizes (crossover ~56KB)", correct, len(rows))
+	return rows, t, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/aggregate"
+	"repro/internal/vision"
+)
+
+// --- E15: visual recognition services (Fig. 1, §2.2) ---
+
+// E15Row is one strategy's tag-recognition quality over the image set.
+type E15Row struct {
+	Strategy string
+	PRF      aggregate.PRF
+}
+
+// RunE15 runs both visual-recognition engines over a generated image set
+// and compares each engine's label quality, and their union/intersection
+// combinations, against ground truth — the image-file analogue of the E6
+// text consensus ("similar types of analyses can be performed on other
+// types of data such as image files", §2.2).
+func RunE15(scale Scale) ([]E15Row, Table, error) {
+	numImages := scale.n(200)
+	sharp := vision.NewEngine(vision.ProfileSharp)
+	fast := vision.NewEngine(vision.ProfileFast)
+	sums := map[string]*aggregate.PRF{
+		"vision-sharp": {}, "vision-fast": {}, "intersection": {}, "union": {},
+	}
+	add := func(dst *aggregate.PRF, s aggregate.PRF) {
+		dst.TP += s.TP
+		dst.FP += s.FP
+		dst.FN += s.FN
+	}
+	for i := 0; i < numImages; i++ {
+		img := vision.Generate(fmt.Sprintf("img-%04d", i), int64(9000+i))
+		data := img.Encode()
+		rs, err := sharp.Recognize(img.ID, data)
+		if err != nil {
+			return nil, Table{}, err
+		}
+		rf, err := fast.Recognize(img.ID, data)
+		if err != nil {
+			return nil, Table{}, err
+		}
+		ls, lf := rs.LabelSet(), rf.LabelSet()
+		add(sums["vision-sharp"], aggregate.Score(ls, img.TrueLabels))
+		add(sums["vision-fast"], aggregate.Score(lf, img.TrueLabels))
+		add(sums["intersection"], aggregate.Score(intersect(ls, lf), img.TrueLabels))
+		add(sums["union"], aggregate.Score(union(ls, lf), img.TrueLabels))
+	}
+	finish := func(p *aggregate.PRF) aggregate.PRF {
+		out := *p
+		if out.TP+out.FP > 0 {
+			out.Precision = float64(out.TP) / float64(out.TP+out.FP)
+		}
+		if out.TP+out.FN > 0 {
+			out.Recall = float64(out.TP) / float64(out.TP+out.FN)
+		}
+		if out.Precision+out.Recall > 0 {
+			out.F1 = 2 * out.Precision * out.Recall / (out.Precision + out.Recall)
+		}
+		return out
+	}
+	var rows []E15Row
+	for _, name := range []string{"vision-sharp", "vision-fast", "intersection", "union"} {
+		rows = append(rows, E15Row{Strategy: name, PRF: finish(sums[name])})
+	}
+	t := Table{
+		ID:     "E15",
+		Title:  fmt.Sprintf("Visual recognition over %d images: single engines vs combinations", numImages),
+		Claim:  "image files flow through the same multi-service analysis as text (Fig. 1, §2.2)",
+		Header: []string{"strategy", "precision", "recall", "f1"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Strategy, f2(r.PRF.Precision), f2(r.PRF.Recall), f2(r.PRF.F1)})
+	}
+	t.Notes = "intersection maximizes precision, union maximizes recall — the combination trade-off applications choose per use case"
+	return rows, t, nil
+}
+
+func intersect(a, b []string) []string {
+	set := make(map[string]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	var out []string
+	for _, x := range b {
+		if set[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func union(a, b []string) []string {
+	set := make(map[string]bool, len(a)+len(b))
+	var out []string
+	for _, x := range append(append([]string{}, a...), b...) {
+		if !set[x] {
+			set[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

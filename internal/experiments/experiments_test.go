@@ -1,0 +1,420 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Shape assertions: each experiment must reproduce the paper claim's
+// direction at reduced scale, not exact magnitudes.
+
+const testScale = Scale(0.2)
+
+func TestE1CachingShape(t *testing.T) {
+	rows, table, err := RunE1(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatal("too few rows")
+	}
+	noCache := rows[0]
+	full := rows[len(rows)-1]
+	if noCache.HitRatio != 0 {
+		t.Errorf("no-cache hit ratio = %v", noCache.HitRatio)
+	}
+	if full.HitRatio < 0.5 {
+		t.Errorf("full-cache hit ratio = %v, want > 0.5 (Zipf)", full.HitRatio)
+	}
+	if full.RemoteCalls >= noCache.RemoteCalls {
+		t.Errorf("remote calls did not drop: %d -> %d", noCache.RemoteCalls, full.RemoteCalls)
+	}
+	if full.MeanLatency >= noCache.MeanLatency {
+		t.Errorf("latency did not drop: %v -> %v", noCache.MeanLatency, full.MeanLatency)
+	}
+	// Hit ratio must grow monotonically with cache size.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].HitRatio+1e-9 < rows[i-1].HitRatio {
+			t.Errorf("hit ratio not monotone: %+v", rows)
+		}
+	}
+	assertRenders(t, table)
+}
+
+func TestE2RankingShape(t *testing.T) {
+	rows, table, err := RunE2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-factor weightings pick the obvious extremes under both
+	// formulas.
+	if rows[0].Eq1Winner != "fast-premium" || rows[0].Eq2Winner != "fast-premium" {
+		t.Errorf("latency-only winner = %+v", rows[0])
+	}
+	if rows[1].Eq1Winner != "slow-budget" || rows[1].Eq2Winner != "slow-budget" {
+		t.Errorf("cost-only winner = %+v", rows[1])
+	}
+	if rows[2].Eq1Winner != "balanced-quality" || rows[2].Eq2Winner != "balanced-quality" {
+		t.Errorf("quality-only winner = %+v", rows[2])
+	}
+	assertRenders(t, table)
+}
+
+func TestE3FailoverShape(t *testing.T) {
+	rows, table, err := RunE3(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Retry+0.02 < r.Naive {
+			t.Errorf("retry (%v) below naive (%v) at p=%v", r.Retry, r.Naive, r.FailRate)
+		}
+		if r.ChainFailover+0.02 < r.Retry {
+			t.Errorf("chain (%v) below retry (%v) at p=%v", r.ChainFailover, r.Retry, r.FailRate)
+		}
+	}
+	worst := rows[len(rows)-1]
+	if worst.FailRate < 0.5 {
+		t.Fatalf("sweep did not reach 50%%")
+	}
+	if worst.ChainFailover < 0.95 {
+		t.Errorf("chain availability at 50%% failures = %v, want > 0.95", worst.ChainFailover)
+	}
+	if worst.Naive > 0.6 {
+		t.Errorf("naive availability at 50%% failures = %v, want ~0.5", worst.Naive)
+	}
+	assertRenders(t, table)
+}
+
+func TestE4AsyncShape(t *testing.T) {
+	rows, table, err := RunE4(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync, async, par := rows[0].Elapsed, rows[1].Elapsed, rows[2].Elapsed
+	if float64(async) > float64(sync)*0.7 {
+		t.Errorf("async (%v) not meaningfully faster than sync (%v)", async, sync)
+	}
+	if float64(par) > float64(sync)*0.7 {
+		t.Errorf("parallel (%v) not meaningfully faster than sync (%v)", par, sync)
+	}
+	assertRenders(t, table)
+}
+
+func TestE5PredictionShape(t *testing.T) {
+	rows, table, err := RunE5(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := 0
+	var sawS1, sawS2 bool
+	for _, r := range rows {
+		if r.PredictChoice == r.OracleChoice {
+			matches++
+		}
+		if r.OracleChoice == "store-s1" {
+			sawS1 = true
+		} else {
+			sawS2 = true
+		}
+	}
+	if !sawS1 || !sawS2 {
+		t.Error("sweep does not cross the crossover")
+	}
+	if matches < len(rows)-1 {
+		t.Errorf("prediction matched oracle on %d/%d sizes", matches, len(rows))
+	}
+	assertRenders(t, table)
+}
+
+func TestE6ConsensusShape(t *testing.T) {
+	rows, table, err := RunE6(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]E6Row{}
+	for _, r := range rows {
+		byName[r.Strategy] = r
+	}
+	alpha, gamma, cons := byName["nlu-alpha"], byName["nlu-gamma"], byName["consensus>=2/3"]
+	if alpha.PRF.F1 <= gamma.PRF.F1 {
+		t.Errorf("alpha F1 %v should beat gamma %v", alpha.PRF.F1, gamma.PRF.F1)
+	}
+	if cons.PRF.Precision+0.02 < gamma.PRF.Precision {
+		t.Errorf("consensus precision %v below noisy engine %v", cons.PRF.Precision, gamma.PRF.Precision)
+	}
+	if cons.PRF.F1+0.02 < gamma.PRF.F1 {
+		t.Errorf("consensus F1 %v below noisiest engine %v", cons.PRF.F1, gamma.PRF.F1)
+	}
+	assertRenders(t, table)
+}
+
+func TestE7PersistShape(t *testing.T) {
+	rows, table, err := RunE7(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Cached != 0 {
+		t.Errorf("round 1 cached = %d", rows[0].Cached)
+	}
+	if rows[1].Invocations != 0 || rows[2].Invocations != 0 {
+		t.Errorf("later rounds invoked the service: %+v", rows)
+	}
+	if rows[1].Cached == 0 {
+		t.Error("round 2 served nothing from the store")
+	}
+	for _, r := range rows {
+		if r.QuotaDenied != 0 {
+			t.Errorf("quota denied %d analyses in round %d (store should prevent this)", r.QuotaDenied, r.Round)
+		}
+	}
+	assertRenders(t, table)
+}
+
+func TestE8InferenceShape(t *testing.T) {
+	rows, table, err := RunE8(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		// Chain of n has n-1 base subclass facts + 1 type fact; closure
+		// adds (n-1)(n-2)/2 subclass facts + n-1 type facts.
+		n := r.ChainLength
+		wantDerived := (n-1)*(n-2)/2 + (n - 1)
+		if r.Derived != wantDerived {
+			t.Errorf("chain %d derived %d, want %d", n, r.Derived, wantDerived)
+		}
+		if i > 0 && r.Derived <= rows[i-1].Derived {
+			t.Error("derived facts not growing with chain length")
+		}
+	}
+	assertRenders(t, table)
+}
+
+func TestE9CodecShape(t *testing.T) {
+	rows, table, err := RunE9(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]E9Row{}
+	for _, r := range rows {
+		byKey[r.Payload+"/"+r.Mode] = r
+	}
+	if byKey["text/gzip"].StoredBytes >= byKey["text/plain"].StoredBytes/3 {
+		t.Errorf("gzip on text: %d vs %d plain", byKey["text/gzip"].StoredBytes, byKey["text/plain"].StoredBytes)
+	}
+	if byKey["random/gzip"].StoredBytes < byKey["random/plain"].StoredBytes {
+		t.Error("random data should not compress")
+	}
+	aesOverhead := byKey["text/aes-gcm"].StoredBytes - byKey["text/plain"].StoredBytes
+	if aesOverhead < 0 || aesOverhead > 64 {
+		t.Errorf("aes overhead = %d bytes, want small constant", aesOverhead)
+	}
+	if byKey["text/gzip+aes"].StoredBytes >= byKey["text/plain"].StoredBytes/3 {
+		t.Error("gzip+aes should stay compressed (compress before encrypt)")
+	}
+	assertRenders(t, table)
+}
+
+func TestE10LocalRemoteShape(t *testing.T) {
+	rows, table, err := RunE10(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, remote := rows[0], rows[1]
+	// The full-scale gap is ~40x; assert a conservative 2x so parallel
+	// package execution on loaded CI machines cannot flake the shape.
+	if local.PerCall*2 > remote.PerCall {
+		t.Errorf("local (%v) should be >2x faster than remote (%v)", local.PerCall, remote.PerCall)
+	}
+	if local.Cost != 0 || remote.Cost <= 0 {
+		t.Errorf("costs = %v / %v", local.Cost, remote.Cost)
+	}
+	assertRenders(t, table)
+}
+
+func TestE11OfflineSyncShape(t *testing.T) {
+	rows, table, err := RunE11(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Lost != 0 {
+			t.Errorf("lost %d writes at %d offline writes", r.Lost, r.OfflineWrites)
+		}
+		if r.OfflineReads == 0 {
+			t.Error("offline reads all failed despite local mirror")
+		}
+		if r.SyncedOps > r.OfflineWrites {
+			t.Errorf("synced %d > written %d", r.SyncedOps, r.OfflineWrites)
+		}
+	}
+	assertRenders(t, table)
+}
+
+func TestE12ConvertShape(t *testing.T) {
+	rows, table, err := RunE12(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.LossLess {
+			t.Errorf("conversion at %d rows lost data", r.Rows)
+		}
+		if r.Statements != 2*r.Rows {
+			t.Errorf("statements = %d, want %d", r.Statements, 2*r.Rows)
+		}
+	}
+	assertRenders(t, table)
+}
+
+func TestE13DisambigShape(t *testing.T) {
+	rows, table, err := RunE13(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, canon := rows[0], rows[1]
+	if raw.Distinct <= raw.TrueCount {
+		t.Errorf("raw ingestion should proliferate: %d distinct for %d true", raw.Distinct, raw.TrueCount)
+	}
+	if canon.Distinct != canon.TrueCount {
+		t.Errorf("disambiguated distinct = %d, want %d", canon.Distinct, canon.TrueCount)
+	}
+	assertRenders(t, table)
+}
+
+func TestE14RedundancyShape(t *testing.T) {
+	rows, table, err := RunE14(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].ReadsOK != rows[0].Reads {
+		t.Errorf("healthy reads = %d/%d", rows[0].ReadsOK, rows[0].Reads)
+	}
+	if rows[1].ReadsOK != rows[1].Reads || rows[2].ReadsOK != rows[2].Reads {
+		t.Errorf("reads under partial failure should all succeed: %+v", rows)
+	}
+	if rows[3].ReadsOK != 0 {
+		t.Errorf("total outage still served %d reads", rows[3].ReadsOK)
+	}
+	assertRenders(t, table)
+}
+
+func TestA1CacheAblationShape(t *testing.T) {
+	rows, table, err := RunA1(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flight, naive, ttl := rows[0], rows[1], rows[2]
+	if flight.BackendCalls >= naive.BackendCalls {
+		t.Errorf("single-flight calls %d >= naive %d", flight.BackendCalls, naive.BackendCalls)
+	}
+	if ttl.BackendCalls <= flight.BackendCalls {
+		t.Errorf("1ns TTL (%d) should refill more often than no-TTL single-flight (%d)", ttl.BackendCalls, flight.BackendCalls)
+	}
+	assertRenders(t, table)
+}
+
+func TestA2ScoreAblationShape(t *testing.T) {
+	rows, table, err := RunA2(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]A2Row{}
+	for _, r := range rows {
+		byName[r.Scorer] = r
+	}
+	if byName["eq2-normalized"].MeanRegret > byName["eq1-weighted"].MeanRegret {
+		t.Errorf("eq2 regret %v above eq1 %v under imbalanced scales", byName["eq2-normalized"].MeanRegret, byName["eq1-weighted"].MeanRegret)
+	}
+	if byName["eq2-normalized"].WinnerMatch < 0.99 {
+		t.Errorf("eq2 should match the scale-free utility: %v", byName["eq2-normalized"].WinnerMatch)
+	}
+	assertRenders(t, table)
+}
+
+func TestA3PredictAblationShape(t *testing.T) {
+	rows, table, err := RunA3(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]float64{}
+	for _, r := range rows {
+		byKey[r.Shape+"/"+r.Predictor] = r.MAEms
+	}
+	if byKey["linear/regression"] > byKey["linear/knn-3"] {
+		t.Errorf("regression MAE %v above knn %v on linear latency", byKey["linear/regression"], byKey["linear/knn-3"])
+	}
+	assertRenders(t, table)
+}
+
+func TestA4ChainAblationShape(t *testing.T) {
+	rows, table, err := RunA4(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forward, backward := rows[0], rows[1]
+	if backward.Facts >= forward.Facts {
+		t.Errorf("backward materialized %d facts vs forward %d", backward.Facts, forward.Facts)
+	}
+	assertRenders(t, table)
+}
+
+func TestE15VisionShape(t *testing.T) {
+	rows, table, err := RunE15(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]E15Row{}
+	for _, r := range rows {
+		byName[r.Strategy] = r
+	}
+	sharp, fast := byName["vision-sharp"], byName["vision-fast"]
+	inter, uni := byName["intersection"], byName["union"]
+	if sharp.PRF.F1 <= fast.PRF.F1 {
+		t.Errorf("sharp F1 %v should beat fast %v", sharp.PRF.F1, fast.PRF.F1)
+	}
+	if inter.PRF.Precision+1e-9 < fast.PRF.Precision {
+		t.Errorf("intersection precision %v below fast %v", inter.PRF.Precision, fast.PRF.Precision)
+	}
+	if uni.PRF.Recall+1e-9 < sharp.PRF.Recall {
+		t.Errorf("union recall %v below sharp %v", uni.PRF.Recall, sharp.PRF.Recall)
+	}
+	assertRenders(t, table)
+}
+
+func TestRegistryComplete(t *testing.T) {
+	entries := All()
+	if len(entries) != 19 {
+		t.Errorf("registry has %d entries, want 19 (E1-E15 + A1-A4)", len(entries))
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if seen[e.ID] {
+			t.Errorf("duplicate ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Errorf("incomplete entry %+v", e)
+		}
+	}
+	if _, err := Find("E8"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Find("E99"); err == nil {
+		t.Error("unknown ID accepted")
+	}
+}
+
+func assertRenders(t *testing.T, table Table) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := table.Write(&buf); err != nil {
+		t.Fatalf("table render: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, table.ID) || len(table.Rows) == 0 {
+		t.Errorf("table %s rendered badly:\n%s", table.ID, out)
+	}
+}

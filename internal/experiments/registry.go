@@ -1,0 +1,48 @@
+package experiments
+
+import "fmt"
+
+// Runner executes one experiment at the given scale and returns its table.
+type Runner func(Scale) (Table, error)
+
+// Entry names a runnable experiment.
+type Entry struct {
+	ID    string
+	Title string
+	Run   Runner
+}
+
+// All returns every experiment and ablation in DESIGN.md order.
+func All() []Entry {
+	return []Entry{
+		{"E1", "response caching", func(s Scale) (Table, error) { _, t, err := RunE1(s); return t, err }},
+		{"E2", "score-based ranking", func(s Scale) (Table, error) { _, t, err := RunE2(); return t, err }},
+		{"E3", "retry and failover availability", func(s Scale) (Table, error) { _, t, err := RunE3(s); return t, err }},
+		{"E4", "sync vs async vs parallel invocation", func(s Scale) (Table, error) { _, t, err := RunE4(s); return t, err }},
+		{"E5", "size-dependent latency prediction", func(s Scale) (Table, error) { _, t, err := RunE5(s); return t, err }},
+		{"E6", "multi-service NLU consensus", func(s Scale) (Table, error) { _, t, err := RunE6(s); return t, err }},
+		{"E7", "persisted analyses and quotas", func(s Scale) (Table, error) { _, t, err := RunE7(s); return t, err }},
+		{"E8", "RDF inference", func(s Scale) (Table, error) { _, t, err := RunE8(s); return t, err }},
+		{"E9", "encryption and compression", func(s Scale) (Table, error) { _, t, err := RunE9(s); return t, err }},
+		{"E10", "local vs remote spell checking", func(s Scale) (Table, error) { _, t, err := RunE10(s); return t, err }},
+		{"E11", "offline write-back and sync", func(s Scale) (Table, error) { _, t, err := RunE11(s); return t, err }},
+		{"E12", "format conversion", func(s Scale) (Table, error) { _, t, err := RunE12(s); return t, err }},
+		{"E13", "entity disambiguation", func(s Scale) (Table, error) { _, t, err := RunE13(s); return t, err }},
+		{"E14", "redundant multi-store writes", func(s Scale) (Table, error) { _, t, err := RunE14(s); return t, err }},
+		{"E15", "visual recognition services", func(s Scale) (Table, error) { _, t, err := RunE15(s); return t, err }},
+		{"A1", "cache design ablation", func(s Scale) (Table, error) { _, t, err := RunA1(s); return t, err }},
+		{"A2", "scoring formula ablation", func(s Scale) (Table, error) { _, t, err := RunA2(s); return t, err }},
+		{"A3", "latency predictor ablation", func(s Scale) (Table, error) { _, t, err := RunA3(s); return t, err }},
+		{"A4", "chaining strategy ablation", func(s Scale) (Table, error) { _, t, err := RunA4(s); return t, err }},
+	}
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Entry, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,83 @@
+// Package experiments implements the benchmark harness: one runnable
+// experiment per entry in DESIGN.md's per-experiment index (E1–E14 plus
+// ablations A1–A4). The paper has no numeric evaluation tables — its
+// figures are architectural — so each experiment turns one of the paper's
+// comparative claims into a measured table whose shape (who wins, by
+// roughly what factor, where crossovers fall) validates the claim.
+// cmd/benchmark prints the tables; bench_test.go wraps each experiment as a
+// testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is one experiment's printable result.
+type Table struct {
+	// ID is the experiment identifier ("E1").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Claim is the paper claim under test.
+	Claim string
+	// Header names the columns.
+	Header []string
+	// Rows are the measured series.
+	Rows [][]string
+	// Notes carries the shape verdict ("caching wins by 14x at 90% hit
+	// ratio").
+	Notes string
+}
+
+// Write renders the table to w.
+func (t Table) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "\n=== %s: %s ===\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if t.Claim != "" {
+		if _, err := fmt.Fprintf(w, "claim: %s\n", t.Claim); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if _, err := fmt.Fprintln(tw, strings.Join(t.Header, "\t")); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(tw, strings.Join(dashes(t.Header), "\t")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(tw, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if t.Notes != "" {
+		if _, err := fmt.Fprintf(w, "-> %s\n", t.Notes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func dashes(header []string) []string {
+	out := make([]string, len(header))
+	for i, h := range header {
+		out[i] = strings.Repeat("-", len(h))
+	}
+	return out
+}
+
+// f formats a float compactly.
+func f(v float64) string { return fmt.Sprintf("%.3g", v) }
+
+// f2 formats a float with 2 decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// d formats an integer.
+func d(v int64) string { return fmt.Sprintf("%d", v) }

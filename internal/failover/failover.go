@@ -1,0 +1,241 @@
+// Package failover implements the rich SDK's failure handling (paper §2.1):
+// retrying unresponsive services a user-specified number of times, falling
+// over to lower-ranked services with similar functionality until a
+// responsive one is found (with a per-service retry count), and invoking
+// multiple services redundantly — all of them, the first to succeed, or a
+// quorum.
+package failover
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/service"
+)
+
+// RetryPolicy controls how a single service is retried.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first.
+	// Values below 1 are treated as 1 (no retry).
+	MaxAttempts int
+	// Backoff is the wait before the first retry.
+	Backoff time.Duration
+	// BackoffFactor multiplies the wait after each retry; values below 1
+	// are treated as 1 (constant backoff).
+	BackoffFactor float64
+	// MaxBackoff caps the wait; 0 means uncapped.
+	MaxBackoff time.Duration
+	// RetryOn decides whether an error is retryable. Nil means retry on
+	// service.ErrUnavailable only — permanent errors (bad request,
+	// quota) never retry by default.
+	RetryOn func(error) bool
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+func (p RetryPolicy) retryable(err error) bool {
+	if p.RetryOn != nil {
+		return p.RetryOn(err)
+	}
+	return errors.Is(err, service.ErrUnavailable)
+}
+
+// Invoke calls svc with retries per policy, sleeping the backoff on clk
+// between attempts. It returns the response, the number of attempts made,
+// and the final error. A nil clk uses the real clock. Context cancellation
+// stops retrying immediately.
+func Invoke(ctx context.Context, clk clock.Clock, svc service.Service, req service.Request, policy RetryPolicy) (service.Response, int, error) {
+	if clk == nil {
+		clk = clock.Real()
+	}
+	wait := policy.Backoff
+	var lastErr error
+	maxAttempts := policy.attempts()
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		resp, err := svc.Invoke(ctx, req)
+		if err == nil {
+			return resp, attempt, nil
+		}
+		lastErr = err
+		if !policy.retryable(err) || attempt == maxAttempts {
+			return service.Response{}, attempt, err
+		}
+		if wait > 0 {
+			select {
+			case <-ctx.Done():
+				return service.Response{}, attempt, fmt.Errorf("failover: %w (after %w)", ctx.Err(), lastErr)
+			case <-clk.After(wait):
+			}
+			factor := policy.BackoffFactor
+			if factor > 1 {
+				wait = time.Duration(float64(wait) * factor)
+				if policy.MaxBackoff > 0 && wait > policy.MaxBackoff {
+					wait = policy.MaxBackoff
+				}
+			}
+		} else if ctx.Err() != nil {
+			return service.Response{}, attempt, fmt.Errorf("failover: %w (after %w)", ctx.Err(), lastErr)
+		}
+	}
+	return service.Response{}, maxAttempts, lastErr
+}
+
+// Step is one entry in a failover chain: a service plus its retry policy.
+// The paper notes the number of retries "may be different for different
+// services".
+type Step struct {
+	Service service.Service
+	Policy  RetryPolicy
+}
+
+// Attempt records the outcome of trying one service in a chain.
+type Attempt struct {
+	Service  string
+	Attempts int
+	Err      error // nil if this service produced the returned response
+}
+
+// Chain tries services in rank order until one responds (paper §2.1: "start
+// with higher ranked services and continue with lower ranked services until
+// a responsive service is found"). It returns the first success, the
+// per-service attempt log, and — if every service fails — an error joining
+// all failures.
+func Chain(ctx context.Context, clk clock.Clock, steps []Step, req service.Request) (service.Response, []Attempt, error) {
+	if len(steps) == 0 {
+		return service.Response{}, nil, errors.New("failover: empty chain")
+	}
+	attempts := make([]Attempt, 0, len(steps))
+	var errs []error
+	for _, step := range steps {
+		resp, n, err := Invoke(ctx, clk, step.Service, req, step.Policy)
+		name := step.Service.Info().Name
+		attempts = append(attempts, Attempt{Service: name, Attempts: n, Err: err})
+		if err == nil {
+			return resp, attempts, nil
+		}
+		errs = append(errs, fmt.Errorf("%s: %w", name, err))
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return service.Response{}, attempts, fmt.Errorf("failover: all services failed: %w", errors.Join(errs...))
+}
+
+// Result is the outcome of one service's invocation in a redundant call.
+type Result struct {
+	Service  string
+	Response service.Response
+	Err      error
+	Latency  time.Duration
+}
+
+// InvokeAll invokes every service in parallel with the same request and
+// waits for all of them — the paper's redundancy case, for example storing
+// the same data in several cloud databases, or sending a document to
+// several NLU services to compare and combine their output. The results
+// are returned in input order.
+func InvokeAll(ctx context.Context, clk clock.Clock, svcs []service.Service, req service.Request) []Result {
+	if clk == nil {
+		clk = clock.Real()
+	}
+	results := make([]Result, len(svcs))
+	var wg sync.WaitGroup
+	for i, svc := range svcs {
+		wg.Add(1)
+		go func(i int, svc service.Service) {
+			defer wg.Done()
+			start := clk.Now()
+			resp, err := svc.Invoke(ctx, req)
+			results[i] = Result{
+				Service:  svc.Info().Name,
+				Response: resp,
+				Err:      err,
+				Latency:  clk.Since(start),
+			}
+		}(i, svc)
+	}
+	wg.Wait()
+	return results
+}
+
+// InvokeFirst invokes every service in parallel and returns as soon as one
+// succeeds, cancelling the rest. If all fail it returns the joined errors.
+func InvokeFirst(ctx context.Context, svcs []service.Service, req service.Request) (service.Response, string, error) {
+	if len(svcs) == 0 {
+		return service.Response{}, "", errors.New("failover: no services")
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		name string
+		resp service.Response
+		err  error
+	}
+	ch := make(chan outcome, len(svcs))
+	for _, svc := range svcs {
+		go func(svc service.Service) {
+			resp, err := svc.Invoke(ctx, req)
+			ch <- outcome{name: svc.Info().Name, resp: resp, err: err}
+		}(svc)
+	}
+	var errs []error
+	for range svcs {
+		o := <-ch
+		if o.err == nil {
+			return o.resp, o.name, nil
+		}
+		errs = append(errs, fmt.Errorf("%s: %w", o.name, o.err))
+	}
+	return service.Response{}, "", fmt.Errorf("failover: all services failed: %w", errors.Join(errs...))
+}
+
+// Quorum invokes every service in parallel and succeeds once quorum
+// responses have arrived, returning those successes. If too many services
+// fail for the quorum to be reachable it fails fast with the joined errors.
+func Quorum(ctx context.Context, clk clock.Clock, svcs []service.Service, req service.Request, quorum int) ([]Result, error) {
+	if quorum < 1 || quorum > len(svcs) {
+		return nil, fmt.Errorf("failover: quorum %d out of range [1, %d]", quorum, len(svcs))
+	}
+	if clk == nil {
+		clk = clock.Real()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan Result, len(svcs))
+	for _, svc := range svcs {
+		go func(svc service.Service) {
+			start := clk.Now()
+			resp, err := svc.Invoke(ctx, req)
+			ch <- Result{Service: svc.Info().Name, Response: resp, Err: err, Latency: clk.Since(start)}
+		}(svc)
+	}
+	var successes []Result
+	var errs []error
+	remaining := len(svcs)
+	for remaining > 0 {
+		r := <-ch
+		remaining--
+		if r.Err == nil {
+			successes = append(successes, r)
+			if len(successes) >= quorum {
+				return successes, nil
+			}
+		} else {
+			errs = append(errs, fmt.Errorf("%s: %w", r.Service, r.Err))
+			if len(successes)+remaining < quorum {
+				return successes, fmt.Errorf("failover: quorum %d unreachable (%d successes): %w", quorum, len(successes), errors.Join(errs...))
+			}
+		}
+	}
+	// Unreachable: the loop exits via one of the two returns above.
+	return successes, fmt.Errorf("failover: quorum %d not reached (%d successes): %w", quorum, len(successes), errors.Join(errs...))
+}

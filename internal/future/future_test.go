@@ -1,0 +1,372 @@
+package future
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+func TestCompleteAndGet(t *testing.T) {
+	f := New[int]()
+	if f.IsDone() {
+		t.Error("fresh future IsDone = true")
+	}
+	if !f.Complete(42) {
+		t.Error("Complete returned false")
+	}
+	if !f.IsDone() {
+		t.Error("IsDone = false after Complete")
+	}
+	v, err := f.Get()
+	if err != nil || v != 42 {
+		t.Errorf("Get = (%d, %v), want (42, nil)", v, err)
+	}
+}
+
+func TestFail(t *testing.T) {
+	f := New[string]()
+	if !f.Fail(errBoom) {
+		t.Error("Fail returned false")
+	}
+	_, err := f.Get()
+	if !errors.Is(err, errBoom) {
+		t.Errorf("Get error = %v, want boom", err)
+	}
+}
+
+func TestFailNilError(t *testing.T) {
+	f := New[int]()
+	f.Fail(nil)
+	_, err := f.Get()
+	if err == nil {
+		t.Error("Fail(nil) should still settle with a non-nil error")
+	}
+}
+
+func TestSettleOnlyOnce(t *testing.T) {
+	f := New[int]()
+	if !f.Complete(1) {
+		t.Error("first Complete = false")
+	}
+	if f.Complete(2) {
+		t.Error("second Complete = true")
+	}
+	if f.Fail(errBoom) {
+		t.Error("Fail after Complete = true")
+	}
+	v, err := f.Get()
+	if v != 1 || err != nil {
+		t.Errorf("Get = (%d, %v), want (1, nil)", v, err)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	f := New[int]()
+	if !f.Cancel() {
+		t.Error("Cancel = false")
+	}
+	_, err := f.Get()
+	if !errors.Is(err, ErrCancelled) {
+		t.Errorf("error = %v, want ErrCancelled", err)
+	}
+}
+
+func TestGetTimeout(t *testing.T) {
+	f := New[int]()
+	if _, err := f.GetTimeout(5 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Errorf("error = %v, want ErrTimeout", err)
+	}
+	f.Complete(7)
+	v, err := f.GetTimeout(time.Second)
+	if err != nil || v != 7 {
+		t.Errorf("GetTimeout after Complete = (%d, %v)", v, err)
+	}
+}
+
+func TestGetContext(t *testing.T) {
+	f := New[int]()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.GetContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("error = %v, want context.Canceled", err)
+	}
+	f.Complete(9)
+	v, err := f.GetContext(context.Background())
+	if err != nil || v != 9 {
+		t.Errorf("GetContext = (%d, %v)", v, err)
+	}
+}
+
+func TestListenBeforeSettle(t *testing.T) {
+	f := New[int]()
+	got := make(chan int, 1)
+	f.Listen(func(v int, err error) { got <- v })
+	f.Complete(5)
+	select {
+	case v := <-got:
+		if v != 5 {
+			t.Errorf("listener got %d, want 5", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("listener not invoked")
+	}
+}
+
+func TestListenAfterSettleRunsImmediately(t *testing.T) {
+	f := Completed(3)
+	var ran bool
+	f.Listen(func(v int, err error) { ran = v == 3 && err == nil })
+	if !ran {
+		t.Error("listener on settled future did not run synchronously")
+	}
+}
+
+func TestListenersRunInOrder(t *testing.T) {
+	f := New[int]()
+	var order []int
+	var mu sync.Mutex
+	for i := 0; i < 5; i++ {
+		i := i
+		f.Listen(func(int, error) {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		})
+	}
+	f.Complete(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("listeners ran out of order: %v", order)
+		}
+	}
+}
+
+func TestGoSuccessAndFailure(t *testing.T) {
+	v, err := Go(func() (int, error) { return 10, nil }).Get()
+	if err != nil || v != 10 {
+		t.Errorf("Go success = (%d, %v)", v, err)
+	}
+	_, err = Go(func() (int, error) { return 0, errBoom }).Get()
+	if !errors.Is(err, errBoom) {
+		t.Errorf("Go failure = %v", err)
+	}
+}
+
+func TestThen(t *testing.T) {
+	f := Completed(4)
+	g := Then(f, func(v int) (string, error) {
+		if v != 4 {
+			return "", errBoom
+		}
+		return "four", nil
+	})
+	s, err := g.Get()
+	if err != nil || s != "four" {
+		t.Errorf("Then = (%q, %v)", s, err)
+	}
+}
+
+func TestThenPropagatesError(t *testing.T) {
+	f := Failed[int](errBoom)
+	called := false
+	g := Then(f, func(int) (int, error) { called = true; return 0, nil })
+	if _, err := g.Get(); !errors.Is(err, errBoom) {
+		t.Errorf("error = %v, want boom", err)
+	}
+	if called {
+		t.Error("next ran despite upstream failure")
+	}
+}
+
+func TestThenNextError(t *testing.T) {
+	g := Then(Completed(1), func(int) (int, error) { return 0, errBoom })
+	if _, err := g.Get(); !errors.Is(err, errBoom) {
+		t.Errorf("error = %v, want boom", err)
+	}
+}
+
+func TestAll(t *testing.T) {
+	fs := []*Future[int]{New[int](), New[int](), New[int]()}
+	all := All(fs...)
+	fs[2].Complete(3)
+	fs[0].Complete(1)
+	if all.IsDone() {
+		t.Error("All settled before every input")
+	}
+	fs[1].Complete(2)
+	vs, err := all.Get()
+	if err != nil {
+		t.Fatalf("All error = %v", err)
+	}
+	for i, v := range vs {
+		if v != i+1 {
+			t.Errorf("values = %v, want [1 2 3]", vs)
+			break
+		}
+	}
+}
+
+func TestAllFirstError(t *testing.T) {
+	fs := []*Future[int]{New[int](), New[int]()}
+	all := All(fs...)
+	fs[1].Fail(errBoom)
+	if _, err := all.Get(); !errors.Is(err, errBoom) {
+		t.Errorf("error = %v, want boom", err)
+	}
+	fs[0].Complete(1) // late success must be harmless
+}
+
+func TestAllEmpty(t *testing.T) {
+	vs, err := All[int]().Get()
+	if err != nil || vs != nil {
+		t.Errorf("All() = (%v, %v)", vs, err)
+	}
+}
+
+func TestAnyFirstSuccess(t *testing.T) {
+	fs := []*Future[int]{New[int](), New[int](), New[int]()}
+	any := Any(fs...)
+	fs[0].Fail(errBoom)
+	fs[1].Complete(99)
+	v, err := any.Get()
+	if err != nil || v != 99 {
+		t.Errorf("Any = (%d, %v), want (99, nil)", v, err)
+	}
+	fs[2].Complete(1)
+}
+
+func TestAnyAllFail(t *testing.T) {
+	fs := []*Future[int]{New[int](), New[int]()}
+	any := Any(fs...)
+	fs[0].Fail(errors.New("first"))
+	fs[1].Fail(errBoom)
+	if _, err := any.Get(); err == nil {
+		t.Error("Any of all-failed should fail")
+	}
+}
+
+func TestAnyEmpty(t *testing.T) {
+	if _, err := Any[int]().Get(); err == nil {
+		t.Error("Any() should fail")
+	}
+}
+
+func TestPoolBoundedConcurrency(t *testing.T) {
+	p, err := NewPool(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var cur, peak int32
+	var fs []*Future[int]
+	for i := 0; i < 50; i++ {
+		fs = append(fs, Submit(p, func() (int, error) {
+			n := atomic.AddInt32(&cur, 1)
+			for {
+				old := atomic.LoadInt32(&peak)
+				if n <= old || atomic.CompareAndSwapInt32(&peak, old, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			atomic.AddInt32(&cur, -1)
+			return 1, nil
+		}))
+	}
+	for _, f := range fs {
+		if _, err := f.Get(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := atomic.LoadInt32(&peak); got > 3 {
+		t.Errorf("peak concurrency = %d, want <= 3", got)
+	}
+}
+
+func TestPoolSubmitAfterClose(t *testing.T) {
+	p, err := NewPool(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	f := Submit(p, func() (int, error) { return 1, nil })
+	if _, err := f.Get(); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("error = %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestPoolCloseWaitsForTasks(t *testing.T) {
+	p, err := NewPool(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done int32
+	for i := 0; i < 10; i++ {
+		Submit(p, func() (int, error) {
+			time.Sleep(2 * time.Millisecond)
+			atomic.AddInt32(&done, 1)
+			return 0, nil
+		})
+	}
+	p.Close()
+	if got := atomic.LoadInt32(&done); got != 10 {
+		t.Errorf("Close returned with %d/10 tasks done", got)
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p, err := NewPool(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p.Close() // must not panic
+}
+
+func TestPoolInvalidConfig(t *testing.T) {
+	if _, err := NewPool(0, 1); err == nil {
+		t.Error("workers=0 should error")
+	}
+	if _, err := NewPool(1, -1); err == nil {
+		t.Error("queueDepth=-1 should error")
+	}
+}
+
+func TestPoolTaskError(t *testing.T) {
+	p, err := NewPool(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	f := Submit(p, func() (string, error) { return "", errBoom })
+	if _, err := f.Get(); !errors.Is(err, errBoom) {
+		t.Errorf("error = %v, want boom", err)
+	}
+}
+
+func TestConcurrentSettleRace(t *testing.T) {
+	// Many goroutines racing to settle; exactly one must win.
+	for round := 0; round < 50; round++ {
+		f := New[int]()
+		var wins int32
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if f.Complete(i) {
+					atomic.AddInt32(&wins, 1)
+				}
+			}(i)
+		}
+		wg.Wait()
+		if wins != 1 {
+			t.Fatalf("round %d: %d winners, want 1", round, wins)
+		}
+	}
+}

@@ -1,0 +1,6 @@
+// Package integration holds cross-module end-to-end tests: the full rich
+// SDK wired with NLU, search, vision, and spell services behind its HTTP
+// façade, exercised the way a non-Go application would use it, plus the
+// complete web-search → fetch → analyze → aggregate → knowledge-base
+// pipeline in one flow. There is no library code here.
+package integration

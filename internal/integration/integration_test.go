@@ -1,0 +1,419 @@
+package integration
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/aggregate"
+	"repro/internal/core"
+	"repro/internal/failover"
+	"repro/internal/kb"
+	"repro/internal/kvstore"
+	"repro/internal/lexicon"
+	"repro/internal/nlu"
+	"repro/internal/rdf"
+	"repro/internal/remotestore"
+	"repro/internal/search"
+	"repro/internal/service"
+	"repro/internal/simsvc"
+	"repro/internal/spell"
+	"repro/internal/vision"
+	"repro/internal/webcorpus"
+)
+
+// buildFullClient wires every built-in service family into one SDK client,
+// matching cmd/richsdk-server's production wiring (tiny latencies for test
+// speed).
+func buildFullClient(t *testing.T) (*core.Client, *webcorpus.Corpus) {
+	t.Helper()
+	client, err := core.NewClient(core.Config{CacheTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+
+	for i, p := range []nlu.Profile{nlu.ProfileAlpha, nlu.ProfileBeta, nlu.ProfileGamma} {
+		engine := nlu.NewEngine(p)
+		info := service.Info{Name: p.Name, Category: "nlu", CostPerCall: 0.001 * float64(i+1)}
+		sim := simsvc.New(simsvc.Config{
+			Info:    info,
+			Latency: simsvc.Constant{D: time.Duration(i+1) * time.Millisecond},
+			Seed:    int64(i),
+			Handler: engine.Service(info).Invoke,
+		})
+		if err := client.Register(sim, core.WithCacheable(),
+			core.WithRetry(failover.RetryPolicy{MaxAttempts: 2})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	corpus := webcorpus.Generate(webcorpus.Config{Seed: 123, NumDocs: 120})
+	index := search.BuildIndex(corpus)
+	for i, cfg := range []struct {
+		name   string
+		params search.Params
+	}{{"search-g", search.TuningG}, {"search-b", search.TuningB}} {
+		engine := search.NewEngine(cfg.name, index, cfg.params)
+		info := service.Info{Name: cfg.name, Category: "search", CostPerCall: 0.0005}
+		sim := simsvc.New(simsvc.Config{
+			Info:    info,
+			Latency: simsvc.Constant{D: time.Millisecond},
+			Seed:    int64(100 + i),
+			Handler: engine.Service(info).Invoke,
+		})
+		if err := client.Register(sim, core.WithCacheable()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checker := spell.NewChecker(lexicon.Dictionary(), nil)
+	if err := client.Register(checker.Service(service.Info{Name: "spell", Category: "spell"}), core.WithCacheable()); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range []vision.Profile{vision.ProfileSharp, vision.ProfileFast} {
+		engine := vision.NewEngine(p)
+		info := service.Info{Name: p.Name, Category: "vision", CostPerCall: 0.002}
+		sim := simsvc.New(simsvc.Config{
+			Info:    info,
+			Latency: simsvc.Constant{D: time.Duration(i+1) * time.Millisecond},
+			Seed:    int64(200 + i),
+			Handler: engine.Service(info).Invoke,
+		})
+		if err := client.Register(sim, core.WithCacheable()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return client, corpus
+}
+
+// TestHTTPFacadeFullStack drives the SDK purely over HTTP, the way an
+// application in another language would (paper §2).
+func TestHTTPFacadeFullStack(t *testing.T) {
+	client, _ := buildFullClient(t)
+	srv := httptest.NewServer(core.NewAPI(client))
+	defer srv.Close()
+
+	post := func(path string, body any) map[string]json.RawMessage {
+		t.Helper()
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			raw, _ := io.ReadAll(resp.Body)
+			t.Fatalf("%s -> HTTP %d: %s", path, resp.StatusCode, raw)
+		}
+		var out map[string]json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	// 1. Search through the facade.
+	searchOut := post("/v1/invoke", map[string]any{
+		"service": "search-g",
+		"request": map[string]any{"op": "search", "query": "Acme market growth", "params": map[string]string{"limit": "5"}},
+	})
+	// Body is []byte and therefore base64 in JSON: decode through the
+	// Response envelope exactly as a foreign-language client would.
+	var sresp service.Response
+	rawSearch, _ := json.Marshal(searchOut)
+	if err := json.Unmarshal(rawSearch, &sresp); err != nil {
+		t.Fatal(err)
+	}
+	results, err := search.DecodeResults(sresp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results.Results) == 0 {
+		t.Fatal("search returned nothing")
+	}
+
+	// 2. NLU category invocation with ranked failover.
+	nluOut := post("/v1/invoke-category", map[string]any{
+		"category": "nlu",
+		"request":  map[string]any{"op": "analyze", "text": "Acme Corporation reported excellent growth in Germany."},
+	})
+	var wrapped struct {
+		Response service.Response `json:"response"`
+	}
+	raw, _ := json.Marshal(nluOut)
+	if err := json.Unmarshal(raw, &wrapped); err != nil {
+		t.Fatal(err)
+	}
+	analysis, err := nlu.DecodeAnalysis(wrapped.Response)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(analysis.Entities) == 0 {
+		t.Error("facade NLU analysis found no entities")
+	}
+
+	// 3. Vision through the facade (binary payload via JSON []byte).
+	img := vision.Generate("itest", 5)
+	visionOut := post("/v1/invoke", map[string]any{
+		"service": "vision-sharp",
+		"request": map[string]any{"op": "recognize", "key": img.ID, "data": img.Encode()},
+	})
+	var vresp service.Response
+	raw, _ = json.Marshal(visionOut)
+	if err := json.Unmarshal(raw, &vresp); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := vision.DecodeRecognition(vresp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Tags) == 0 {
+		t.Error("vision returned no tags")
+	}
+
+	// 4. Ranking endpoint covers every category.
+	for _, cat := range []string{"nlu", "search", "vision"} {
+		out := post("/v1/rank", map[string]any{"category": cat})
+		if len(out["ranked"]) == 0 {
+			t.Errorf("rank(%s) empty", cat)
+		}
+	}
+
+	// 5. Stats reflect the traffic.
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Services []struct {
+			Name  string `json:"Name"`
+			Count int    `json:"Count"`
+		} `json:"services"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range stats.Services {
+		total += s.Count
+	}
+	if total == 0 {
+		t.Error("no monitored invocations recorded")
+	}
+}
+
+func mustField(t *testing.T, m map[string]json.RawMessage, key string) json.RawMessage {
+	t.Helper()
+	v, ok := m[key]
+	if !ok {
+		t.Fatalf("missing field %q in %v", key, m)
+	}
+	return v
+}
+
+// TestSearchAnalyzeAggregateKBPipeline runs the paper's full analytics
+// pipeline in-process: search -> fetch over HTTP -> extract -> multi-
+// service analysis -> consensus -> aggregate sentiment -> knowledge base
+// facts -> inference -> cloud persistence with offline sync.
+func TestSearchAnalyzeAggregateKBPipeline(t *testing.T) {
+	client, corpus := buildFullClient(t)
+	web := httptest.NewServer(corpus.Handler())
+	defer web.Close()
+	ctx := context.Background()
+
+	// Search via the SDK (cached, monitored).
+	resp, err := client.Invoke(ctx, "search-g", service.Request{
+		Op: "search", Query: "market technology growth",
+		Params: map[string]string{"limit": "10"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := search.DecodeResults(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results.Results) == 0 {
+		t.Fatal("no search results")
+	}
+
+	// Fetch each hit over real HTTP and analyze with every NLU service.
+	var perDoc [][]nlu.Analysis
+	var flat []nlu.Analysis
+	for _, r := range results.Results {
+		hresp, err := http.Get(web.URL + "/docs/" + r.DocID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		page, err := io.ReadAll(hresp.Body)
+		_ = hresp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := webcorpus.ExtractText(string(page))
+		all, err := client.InvokeAll(ctx, "nlu", service.Request{Op: "analyze", Text: text})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var analyses []nlu.Analysis
+		for _, res := range all {
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			a, err := nlu.DecodeAnalysis(res.Response)
+			if err != nil {
+				t.Fatal(err)
+			}
+			analyses = append(analyses, a)
+		}
+		perDoc = append(perDoc, analyses)
+		flat = append(flat, analyses[0]) // best engine for aggregation
+	}
+
+	// Consensus-based quality rating (paper §5 future work) feeds the
+	// SDK's quality scores.
+	ratings := aggregate.RateByConsensus(perDoc, 0.5)
+	if len(ratings) != 3 {
+		t.Fatalf("ratings = %+v", ratings)
+	}
+	for _, r := range ratings {
+		client.Monitor(r.Service).RecordQuality(r.Agreement)
+	}
+	// Quality now influences ranking.
+	ranked, err := client.Rank("nlu", service.Request{Op: "analyze", Text: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 3 {
+		t.Fatalf("ranked = %+v", ranked)
+	}
+
+	// Aggregate sentiment into the knowledge base as facts.
+	base, err := kb.New(kb.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentiments := aggregate.Sentiments(flat)
+	if len(sentiments) == 0 {
+		t.Fatal("no aggregated sentiments")
+	}
+	for _, s := range sentiments {
+		mood := "neutral"
+		if s.MeanScore > 0.15 {
+			mood = "favorable"
+		} else if s.MeanScore < -0.15 {
+			mood = "unfavorable"
+		}
+		if err := base.AddFact(s.EntityID, "kb:webSentiment", mood); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A user rule over the web-derived facts.
+	err = base.AddRule(rdf.Rule{
+		Name: "pr-risk",
+		Premises: []rdf.Statement{
+			{S: rdf.NewVar("e"), P: rdf.NewIRI("kb:webSentiment"), O: rdf.NewLiteral("unfavorable")},
+		},
+		Conclusions: []rdf.Statement{
+			{S: rdf.NewVar("e"), P: rdf.NewIRI("kb:needsAttention"), O: rdf.NewLiteral("true")},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.Infer(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Persist the knowledge remotely with an outage in the middle.
+	cloud := remotestore.NewServer(kvstore.NewMemory())
+	cloudSrv := httptest.NewServer(cloud.Handler())
+	defer cloudSrv.Close()
+	rclient := remotestore.NewClient(remotestore.ClientConfig{
+		BaseURL: cloudSrv.URL,
+		Local:   kvstore.NewMemory(),
+	})
+	cloud.SetDown(true)
+	graphCSV := new(bytes.Buffer)
+	for i, stmt := range base.Graph().All() {
+		fmt.Fprintf(graphCSV, "%s\n", stmt)
+		if i == 0 {
+			// First write trips the outage detector.
+			if err := rclient.Put("kb-snapshot", graphCSV.Bytes()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := rclient.Put("kb-snapshot", graphCSV.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if !rclient.Offline() {
+		t.Fatal("client should be offline during the outage")
+	}
+	cloud.SetDown(false)
+	if _, err := rclient.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rclient.Get("kb-snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, graphCSV.Bytes()) {
+		t.Error("cloud snapshot does not match the knowledge base export")
+	}
+
+	// Spell-check a note through the SDK for good measure.
+	resp, err = client.Invoke(ctx, "spell", service.Request{Op: "spellcheck", Text: "the markte improved"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrs, err := spell.DecodeCorrections(resp)
+	if err != nil || len(corrs) != 1 {
+		t.Errorf("spell through SDK = (%v, %v)", corrs, err)
+	}
+
+	// The whole pipeline ran against monitored services: one search
+	// engine, three NLU engines, and the spell checker.
+	if len(client.Stats()) < 5 {
+		t.Errorf("expected stats for >= 5 services, got %d", len(client.Stats()))
+	}
+}
+
+// TestKBConfidencePipeline exercises accuracy levels end to end: dubious
+// web-derived facts stay quarantined below the trust threshold.
+func TestKBConfidencePipeline(t *testing.T) {
+	base, err := kb.New(kb.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trusted taxonomy, dubious web claim.
+	if err := base.AddFactWithConfidence("kb:acme", rdf.RDFSSubClassOf, "kb:company", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.AddFactWithConfidence("kb:company", rdf.RDFSSubClassOf, "kb:organization", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.AddFactWithConfidence("kb:organization", rdf.RDFSSubClassOf, "kb:shell-scheme", 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.InferWithConfidence(0.5); err != nil {
+		t.Fatal(err)
+	}
+	trusted := rdf.Statement{S: rdf.NewIRI("kb:acme"), P: rdf.NewIRI(rdf.RDFSSubClassOf), O: rdf.NewIRI("kb:organization")}
+	dubious := rdf.Statement{S: rdf.NewIRI("kb:acme"), P: rdf.NewIRI(rdf.RDFSSubClassOf), O: rdf.NewIRI("kb:shell-scheme")}
+	if !base.Graph().Has(trusted) {
+		t.Error("trusted closure missing")
+	}
+	if base.Graph().Has(dubious) {
+		t.Error("dubious inference asserted despite threshold")
+	}
+}

@@ -1,0 +1,72 @@
+package kb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestAddFactWithConfidence(t *testing.T) {
+	k := newKB(t, Config{})
+	if err := k.AddFactWithConfidence("kb:report", "kb:claims", "kb:fact-x", 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.FactConfidence("kb:report", "kb:claims", "kb:fact-x"); got != 0.7 {
+		t.Errorf("confidence = %v, want 0.7", got)
+	}
+	// Unset facts default to fully trusted.
+	if err := k.AddFact("kb:a", "kb:p", "kb:b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.FactConfidence("kb:a", "kb:p", "kb:b"); got != 1 {
+		t.Errorf("default confidence = %v, want 1", got)
+	}
+	if err := k.AddFactWithConfidence("kb:x", "kb:p", "kb:y", 1.5); err == nil {
+		t.Error("out-of-range level accepted")
+	}
+}
+
+func TestInferWithConfidencePropagatesLevels(t *testing.T) {
+	k := newKB(t, Config{})
+	// dachshund < dog is certain; dog < animal came from a dubious
+	// source. The inferred dachshund < animal must inherit the doubt.
+	if err := k.AddFactWithConfidence("kb:dachshund", rdf.RDFSSubClassOf, "kb:dog", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AddFactWithConfidence("kb:dog", rdf.RDFSSubClassOf, "kb:animal", 0.4); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := k.InferWithConfidence(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed == 0 {
+		t.Fatal("nothing inferred")
+	}
+	got := k.FactConfidence("kb:dachshund", rdf.RDFSSubClassOf, "kb:animal")
+	if math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("inferred confidence = %v, want 0.4 (weakest premise)", got)
+	}
+}
+
+func TestInferWithConfidenceThreshold(t *testing.T) {
+	k := newKB(t, Config{})
+	if err := k.AddFactWithConfidence("kb:a", rdf.RDFSSubClassOf, "kb:b", 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AddFactWithConfidence("kb:b", rdf.RDFSSubClassOf, "kb:c", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.InferWithConfidence(0.5); err != nil {
+		t.Fatal(err)
+	}
+	goal := rdf.Statement{
+		S: rdf.NewIRI("kb:a"),
+		P: rdf.NewIRI(rdf.RDFSSubClassOf),
+		O: rdf.NewIRI("kb:c"),
+	}
+	if k.Graph().Has(goal) {
+		t.Error("sub-threshold inference asserted")
+	}
+}

@@ -1,0 +1,6 @@
+package kb
+
+import "repro/internal/lexicon"
+
+// lexiconDictionary is indirected for testability.
+func lexiconDictionary() []string { return lexicon.Dictionary() }

@@ -1,0 +1,195 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// storeUnderTest runs the same conformance suite against both
+// implementations.
+func stores(t *testing.T) map[string]Store {
+	t.Helper()
+	f, err := OpenFile(filepath.Join(t.TempDir(), "kv.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"memory": NewMemory(), "file": f}
+}
+
+func TestStoreConformance(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			// Empty store.
+			if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+				t.Errorf("Get(missing) = %v, want ErrNotFound", err)
+			}
+			if n, _ := s.Len(); n != 0 {
+				t.Errorf("Len = %d, want 0", n)
+			}
+			// Put/Get round trip.
+			if err := s.Put("a", []byte("1")); err != nil {
+				t.Fatal(err)
+			}
+			v, err := s.Get("a")
+			if err != nil || string(v) != "1" {
+				t.Errorf("Get(a) = (%q, %v)", v, err)
+			}
+			// Overwrite.
+			if err := s.Put("a", []byte("2")); err != nil {
+				t.Fatal(err)
+			}
+			v, _ = s.Get("a")
+			if string(v) != "2" {
+				t.Errorf("overwritten Get = %q", v)
+			}
+			// Keys sorted.
+			if err := s.Put("c", []byte("3")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("b", []byte("3")); err != nil {
+				t.Fatal(err)
+			}
+			keys, err := s.Keys()
+			if err != nil || !reflect.DeepEqual(keys, []string{"a", "b", "c"}) {
+				t.Errorf("Keys = (%v, %v)", keys, err)
+			}
+			// Delete.
+			if err := s.Delete("b"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Get("b"); !errors.Is(err, ErrNotFound) {
+				t.Error("b survived Delete")
+			}
+			if err := s.Delete("b"); err != nil {
+				t.Errorf("double Delete = %v, want nil", err)
+			}
+			if n, _ := s.Len(); n != 2 {
+				t.Errorf("Len = %d, want 2", n)
+			}
+		})
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			buf := []byte("original")
+			if err := s.Put("k", buf); err != nil {
+				t.Fatal(err)
+			}
+			buf[0] = 'X' // caller mutation must not affect store
+			v, _ := s.Get("k")
+			if string(v) != "original" {
+				t.Error("store aliased caller's buffer")
+			}
+			v[0] = 'Y' // returned slice mutation must not affect store
+			v2, _ := s.Get("k")
+			if string(v2) != "original" {
+				t.Error("store returned shared buffer")
+			}
+		})
+	}
+}
+
+func TestFilePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kv.gob")
+	f1, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := f1.Put(fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f1.Delete("key-3"); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := f2.Len(); n != 9 {
+		t.Errorf("reopened Len = %d, want 9", n)
+	}
+	v, err := f2.Get("key-7")
+	if err != nil || string(v) != "val-7" {
+		t.Errorf("reopened Get = (%q, %v)", v, err)
+	}
+	if _, err := f2.Get("key-3"); !errors.Is(err, ErrNotFound) {
+		t.Error("deleted key resurrected after reopen")
+	}
+}
+
+func TestMemorySnapshotIsolated(t *testing.T) {
+	m := NewMemory()
+	if err := m.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	snap["k"][0] = 'X'
+	v, _ := m.Get("k")
+	if string(v) != "v" {
+		t.Error("snapshot shares backing arrays")
+	}
+}
+
+func TestMemoryConcurrent(t *testing.T) {
+	m := NewMemory()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k-%d", i%50)
+				if err := m.Put(key, []byte{byte(g)}); err != nil {
+					t.Errorf("Put: %v", err)
+				}
+				if _, err := m.Get(key); err != nil && !errors.Is(err, ErrNotFound) {
+					t.Errorf("Get: %v", err)
+				}
+				if i%10 == 0 {
+					_ = m.Delete(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	m := NewMemory()
+	f := func(key string, value []byte) bool {
+		if err := m.Put(key, value); err != nil {
+			return false
+		}
+		got, err := m.Get(key)
+		if err != nil {
+			return false
+		}
+		if len(got) == 0 && len(value) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(got, value)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpenFileBadContents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.gob")
+	if err := os.WriteFile(path, []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path); err == nil {
+		t.Error("corrupt file should fail to open")
+	}
+}

@@ -1,0 +1,119 @@
+package lexicon
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEntityIDsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, e := range AllEntities() {
+		if seen[e.ID] {
+			t.Errorf("duplicate entity ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Name == "" {
+			t.Errorf("entity %s has empty name", e.ID)
+		}
+		if e.Kind.String() == "Unknown" {
+			t.Errorf("entity %s has unknown kind", e.ID)
+		}
+	}
+	if len(seen) < 50 {
+		t.Errorf("gazetteer has %d entities, want >= 50", len(seen))
+	}
+}
+
+func TestAliasIndexResolvesUSAliases(t *testing.T) {
+	idx := AliasIndex()
+	// The paper's running example: all these refer to the same country.
+	for _, alias := range []string{"united states of america", "usa", "us", "america", "united states", "the states"} {
+		if got := idx[alias]; got != "country:us" {
+			t.Errorf("AliasIndex[%q] = %q, want country:us", alias, got)
+		}
+	}
+}
+
+func TestAliasIndexLowercased(t *testing.T) {
+	idx := AliasIndex()
+	for key := range idx {
+		if key != strings.ToLower(key) {
+			t.Errorf("index key %q not lower-cased", key)
+		}
+	}
+}
+
+func TestSentimentLexiconDisjoint(t *testing.T) {
+	pos := make(map[string]bool)
+	for _, w := range Positive {
+		pos[w] = true
+	}
+	for _, w := range Negative {
+		if pos[w] {
+			t.Errorf("word %q is both positive and negative", w)
+		}
+	}
+	weights := SentimentWeights()
+	if weights["good"] != 1 || weights["bad"] != -1 {
+		t.Error("SentimentWeights basic entries wrong")
+	}
+	if len(weights) != len(Positive)+len(Negative) {
+		t.Errorf("weights has %d entries, want %d", len(weights), len(Positive)+len(Negative))
+	}
+}
+
+func TestStopwordSet(t *testing.T) {
+	s := StopwordSet()
+	for _, w := range []string{"the", "and", "of"} {
+		if !s[w] {
+			t.Errorf("stopword %q missing", w)
+		}
+	}
+	if s["market"] {
+		t.Error("content word in stopwords")
+	}
+}
+
+func TestDictionaryContents(t *testing.T) {
+	d := Dictionary()
+	set := make(map[string]bool, len(d))
+	for i, w := range d {
+		if w != strings.ToLower(w) {
+			t.Errorf("dictionary word %q not lower-cased", w)
+		}
+		if set[w] {
+			t.Errorf("duplicate dictionary word %q", w)
+		}
+		set[w] = true
+		if i > 0 && d[i-1] > w {
+			t.Error("dictionary not sorted")
+		}
+	}
+	for _, w := range []string{"market", "germany", "acme", "good", "bad", "the"} {
+		if !set[w] {
+			t.Errorf("dictionary missing %q", w)
+		}
+	}
+	if len(d) < 400 {
+		t.Errorf("dictionary has %d words, want >= 400", len(d))
+	}
+}
+
+func TestByID(t *testing.T) {
+	m := ByID()
+	us, ok := m["country:us"]
+	if !ok || us.Name != "United States" {
+		t.Errorf("ByID country:us = %+v", us)
+	}
+	if us.DBpedia == "" || us.Yago == "" || us.Website == "" {
+		t.Error("US entity missing linked-data URLs (paper example)")
+	}
+}
+
+func TestSurfaceIncludesCanonical(t *testing.T) {
+	e := Entity{Name: "X", Aliases: []string{"Y"}}
+	s := e.Surface()
+	if len(s) != 2 || s[0] != "X" || s[1] != "Y" {
+		t.Errorf("Surface = %v", s)
+	}
+}

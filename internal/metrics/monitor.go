@@ -1,0 +1,338 @@
+// Package metrics implements the rich SDK's service-monitoring substrate:
+// it collects data on service performance (latency), availability, and
+// response quality, keeps latency histories for distribution comparison,
+// and records latency as a function of user-supplied latency parameters so
+// that invocation latency can be predicted (paper §2).
+package metrics
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/stats"
+)
+
+// Observation is one completed service invocation.
+type Observation struct {
+	// Latency is how long the invocation took.
+	Latency time.Duration
+	// Err is the invocation error, nil on success.
+	Err error
+	// Params are the latency parameters for this invocation (for example
+	// the size of an argument passed to the service). May be nil.
+	Params []float64
+	// At is when the invocation completed. Zero means "now".
+	At time.Time
+}
+
+// Snapshot is a point-in-time summary of a monitor's collected data.
+type Snapshot struct {
+	Name         string
+	Count        uint64
+	Failures     uint64
+	Availability float64 // successes / total, 1 when no data
+	MeanLatency  time.Duration
+	EWMALatency  time.Duration
+	P50Latency   time.Duration
+	P95Latency   time.Duration
+	P99Latency   time.Duration
+	MinLatency   time.Duration
+	MaxLatency   time.Duration
+	MeanQuality  float64 // 0 when never rated
+	QualityCount uint64
+}
+
+// Monitor collects observations for a single service. It is safe for
+// concurrent use.
+type Monitor struct {
+	name string
+
+	mu           sync.Mutex
+	clk          clock.Clock
+	history      *stats.Reservoir // latency sample in milliseconds
+	ewma         *stats.EWMA      // smoothed latency in milliseconds
+	count        uint64
+	failures     uint64
+	sumLatencyMS float64
+	minMS        float64
+	maxMS        float64
+
+	qualitySum   float64
+	qualityCount uint64
+
+	// Parameterized latency records: params[i] produced latencyMS[i].
+	paramObs   [][]float64
+	paramLatMS []float64
+	maxParam   int // bound on retained parameterized observations
+
+	recent []timedObs // bounded ring of recent observations for windows
+	rpos   int
+}
+
+type timedObs struct {
+	at    time.Time
+	latMS float64
+	ok    bool
+}
+
+const (
+	defaultHistorySize = 2048
+	defaultRecentSize  = 4096
+	defaultMaxParamObs = 8192
+	defaultEWMAAlpha   = 0.2
+)
+
+// Option configures a Monitor.
+type Option func(*Monitor)
+
+// WithClock sets the clock used to timestamp observations.
+func WithClock(c clock.Clock) Option { return func(m *Monitor) { m.clk = c } }
+
+// WithHistorySize bounds the retained latency sample.
+func WithHistorySize(n int) Option {
+	return func(m *Monitor) {
+		if n > 0 {
+			m.history = stats.NewReservoir(n, rand.New(rand.NewSource(int64(n))).Float64)
+		}
+	}
+}
+
+// WithEWMAAlpha sets the smoothing factor for the exponentially weighted
+// latency average.
+func WithEWMAAlpha(alpha float64) Option {
+	return func(m *Monitor) { m.ewma = stats.NewEWMA(alpha) }
+}
+
+// WithMaxParamObservations bounds the number of retained parameterized
+// latency observations.
+func WithMaxParamObservations(n int) Option {
+	return func(m *Monitor) {
+		if n > 0 {
+			m.maxParam = n
+		}
+	}
+}
+
+// NewMonitor returns a Monitor for the named service.
+func NewMonitor(name string, opts ...Option) *Monitor {
+	m := &Monitor{
+		name:     name,
+		clk:      clock.Real(),
+		history:  stats.NewReservoir(defaultHistorySize, rand.New(rand.NewSource(1)).Float64),
+		ewma:     stats.NewEWMA(defaultEWMAAlpha),
+		maxParam: defaultMaxParamObs,
+		recent:   make([]timedObs, 0, defaultRecentSize),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Name returns the monitored service's name.
+func (m *Monitor) Name() string { return m.name }
+
+// Record folds an observation into the monitor.
+func (m *Monitor) Record(o Observation) {
+	ms := float64(o.Latency) / float64(time.Millisecond)
+	at := o.At
+	if at.IsZero() {
+		at = m.clk.Now()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.count++
+	if o.Err != nil {
+		m.failures++
+	} else {
+		// Latency statistics track successful invocations only: a fast
+		// failure says nothing about how long a successful call takes.
+		m.history.Observe(ms)
+		m.ewma.Observe(ms)
+		m.sumLatencyMS += ms
+		if m.count-m.failures == 1 || ms < m.minMS {
+			m.minMS = ms
+		}
+		if ms > m.maxMS {
+			m.maxMS = ms
+		}
+		if len(o.Params) > 0 && len(m.paramObs) < m.maxParam {
+			cp := make([]float64, len(o.Params))
+			copy(cp, o.Params)
+			m.paramObs = append(m.paramObs, cp)
+			m.paramLatMS = append(m.paramLatMS, ms)
+		}
+	}
+	obs := timedObs{at: at, latMS: ms, ok: o.Err == nil}
+	if len(m.recent) < cap(m.recent) {
+		m.recent = append(m.recent, obs)
+	} else {
+		m.recent[m.rpos] = obs
+		m.rpos = (m.rpos + 1) % len(m.recent)
+	}
+}
+
+// RecordQuality folds a user-supplied quality rating for this service.
+// Higher values indicate higher quality (paper §2: "users can provide
+// methods to rate the quality of different services").
+func (m *Monitor) RecordQuality(q float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.qualitySum += q
+	m.qualityCount++
+}
+
+// Count returns the total number of recorded invocations.
+func (m *Monitor) Count() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.count
+}
+
+// Availability returns the fraction of recorded invocations that succeeded,
+// or 1 if nothing has been recorded (optimistic default: an unknown service
+// is assumed healthy until observed otherwise).
+func (m *Monitor) Availability() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.count == 0 {
+		return 1
+	}
+	return float64(m.count-m.failures) / float64(m.count)
+}
+
+// MeanLatency returns the mean latency of successful invocations, or 0 with
+// no data.
+func (m *Monitor) MeanLatency() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	succ := m.count - m.failures
+	if succ == 0 {
+		return 0
+	}
+	return time.Duration(m.sumLatencyMS / float64(succ) * float64(time.Millisecond))
+}
+
+// EWMALatency returns the exponentially weighted latency average, or 0 with
+// no data.
+func (m *Monitor) EWMALatency() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.ewma.Initialized() {
+		return 0
+	}
+	return time.Duration(m.ewma.Value() * float64(time.Millisecond))
+}
+
+// PercentileLatency returns the p-th latency percentile (0-100) from the
+// retained history, or 0 with no data.
+func (m *Monitor) PercentileLatency(p float64) time.Duration {
+	m.mu.Lock()
+	sample := m.history.Sample()
+	m.mu.Unlock()
+	v, err := stats.Percentile(sample, p)
+	if err != nil {
+		return 0
+	}
+	return time.Duration(v * float64(time.Millisecond))
+}
+
+// MeanQuality returns the mean recorded quality rating and how many ratings
+// back it. A zero count means the service has never been rated.
+func (m *Monitor) MeanQuality() (mean float64, count uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.qualityCount == 0 {
+		return 0, 0
+	}
+	return m.qualitySum / float64(m.qualityCount), m.qualityCount
+}
+
+// LatencyHistory returns the retained latency sample in milliseconds. The
+// paper's SDK "maintains histories of latencies allowing users to compare
+// latency distributions".
+func (m *Monitor) LatencyHistory() []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.history.Sample()
+}
+
+// ParamObservations returns the recorded (latency parameters, latency in
+// milliseconds) pairs for latency prediction. The returned slices are
+// copies.
+func (m *Monitor) ParamObservations() (params [][]float64, latencyMS []float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	params = make([][]float64, len(m.paramObs))
+	for i, p := range m.paramObs {
+		cp := make([]float64, len(p))
+		copy(cp, p)
+		params[i] = cp
+	}
+	latencyMS = make([]float64, len(m.paramLatMS))
+	copy(latencyMS, m.paramLatMS)
+	return params, latencyMS
+}
+
+// WindowAvailability returns the success fraction over observations made in
+// the trailing window d, or 1 if the window holds no observations.
+func (m *Monitor) WindowAvailability(d time.Duration) float64 {
+	cutoff := m.clk.Now().Add(-d)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total, ok int
+	for _, o := range m.recent {
+		if o.at.Before(cutoff) {
+			continue
+		}
+		total++
+		if o.ok {
+			ok++
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(ok) / float64(total)
+}
+
+// Snapshot returns a point-in-time summary.
+func (m *Monitor) Snapshot() Snapshot {
+	m.mu.Lock()
+	sample := m.history.Sample()
+	s := Snapshot{
+		Name:         m.name,
+		Count:        m.count,
+		Failures:     m.failures,
+		MinLatency:   time.Duration(m.minMS * float64(time.Millisecond)),
+		MaxLatency:   time.Duration(m.maxMS * float64(time.Millisecond)),
+		QualityCount: m.qualityCount,
+	}
+	if m.count > 0 {
+		s.Availability = float64(m.count-m.failures) / float64(m.count)
+	} else {
+		s.Availability = 1
+	}
+	if succ := m.count - m.failures; succ > 0 {
+		s.MeanLatency = time.Duration(m.sumLatencyMS / float64(succ) * float64(time.Millisecond))
+	}
+	if m.ewma.Initialized() {
+		s.EWMALatency = time.Duration(m.ewma.Value() * float64(time.Millisecond))
+	}
+	if m.qualityCount > 0 {
+		s.MeanQuality = m.qualitySum / float64(m.qualityCount)
+	}
+	m.mu.Unlock()
+
+	for _, pc := range []struct {
+		p   float64
+		dst *time.Duration
+	}{{50, &s.P50Latency}, {95, &s.P95Latency}, {99, &s.P99Latency}} {
+		if v, err := stats.Percentile(sample, pc.p); err == nil {
+			*pc.dst = time.Duration(v * float64(time.Millisecond))
+		}
+	}
+	return s
+}

@@ -1,0 +1,68 @@
+package nlu
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lexicon"
+)
+
+var benchDoc = strings.Repeat(
+	"Acme Corporation reported excellent quarterly earnings while analysts in "+
+		"Germany praised the remarkable growth of the technology market. "+
+		"Globex Industries suffered a dismal decline amid the scandal. ", 5)
+
+func BenchmarkTokenize(b *testing.B) {
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchDoc)))
+	for i := 0; i < b.N; i++ {
+		if got := Tokenize(benchDoc); len(got) == 0 {
+			b.Fatal("no tokens")
+		}
+	}
+}
+
+func BenchmarkMatcherNER(b *testing.B) {
+	m := NewMatcher(lexicon.AllEntities())
+	tokens := Tokenize(benchDoc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := m.Match(benchDoc, tokens); len(got) == 0 {
+			b.Fatal("no mentions")
+		}
+	}
+}
+
+func BenchmarkDocumentSentiment(b *testing.B) {
+	tokens := Tokenize(benchDoc)
+	weights := lexicon.SentimentWeights()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DocumentSentiment(tokens, weights)
+	}
+}
+
+func BenchmarkFullAnalysis(b *testing.B) {
+	e := NewEngine(ProfileAlpha)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchDoc)))
+	for i := 0; i < b.N; i++ {
+		a := e.Analyze(benchDoc)
+		if len(a.Entities) == 0 {
+			b.Fatal("no entities")
+		}
+	}
+}
+
+func BenchmarkDisambiguatorResolve(b *testing.B) {
+	d := NewDisambiguator()
+	surfaces := []string{"USA", "Germany", "Acme Corp", "the states", "Nippon"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := d.Resolve(surfaces[i%len(surfaces)]); !ok {
+			b.Fatal("unresolved")
+		}
+	}
+}

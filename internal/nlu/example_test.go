@@ -1,0 +1,30 @@
+package nlu_test
+
+import (
+	"fmt"
+
+	"repro/internal/nlu"
+)
+
+func ExampleEngine_Analyze() {
+	engine := nlu.NewEngine(nlu.ProfileAlpha)
+	a := engine.Analyze("Acme Corporation reported excellent growth in Germany.")
+	fmt.Println(a.EntityIDs())
+	fmt.Println(a.Sentiment > 0)
+	// Output:
+	// [company:acme country:de]
+	// true
+}
+
+func ExampleDisambiguator_Resolve() {
+	d := nlu.NewDisambiguator()
+	// The paper's running example: many surface forms, one country.
+	for _, surface := range []string{"USA", "United States of America", "the states"} {
+		r, _ := d.Resolve(surface)
+		fmt.Println(surface, "->", r.EntityID)
+	}
+	// Output:
+	// USA -> country:us
+	// United States of America -> country:us
+	// the states -> country:us
+}

@@ -1,0 +1,159 @@
+package nlu
+
+import (
+	"strings"
+
+	"repro/internal/lexicon"
+)
+
+// gazEntry is one compiled surface form.
+type gazEntry struct {
+	tokens    []string // lower-cased token sequence
+	exactCase string   // required exact form for short acronyms, "" otherwise
+	entityID  string
+	kind      string
+}
+
+// Matcher performs gazetteer-based NER with longest-match-wins semantics.
+// Construct once with NewMatcher and share; it is immutable and safe for
+// concurrent use.
+type Matcher struct {
+	// byFirst maps the first (lower-cased) token of each surface form to
+	// its candidate entries, longest first.
+	byFirst map[string][]gazEntry
+}
+
+// acronymMaxLen bounds surface forms that require an exact-case match:
+// "US" must not match the pronoun "us", but "germany" may match "Germany".
+const acronymMaxLen = 3
+
+// NewMatcher compiles the given gazetteer entities into a matcher.
+func NewMatcher(entities []lexicon.Entity) *Matcher {
+	m := &Matcher{byFirst: make(map[string][]gazEntry)}
+	for _, e := range entities {
+		for _, surface := range e.Surface() {
+			words := strings.Fields(surface)
+			if len(words) == 0 {
+				continue
+			}
+			entry := gazEntry{
+				tokens:   make([]string, len(words)),
+				entityID: e.ID,
+				kind:     e.Kind.String(),
+			}
+			for i, w := range words {
+				entry.tokens[i] = strings.ToLower(w)
+			}
+			if len(words) == 1 && len(words[0]) <= acronymMaxLen && words[0] == strings.ToUpper(words[0]) {
+				entry.exactCase = words[0]
+			}
+			first := entry.tokens[0]
+			m.byFirst[first] = append(m.byFirst[first], entry)
+		}
+	}
+	// Longest surface first so "United States of America" beats "United
+	// States".
+	for first, entries := range m.byFirst {
+		sortByLenDesc(entries)
+		m.byFirst[first] = entries
+	}
+	return m
+}
+
+func sortByLenDesc(entries []gazEntry) {
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && len(entries[j].tokens) > len(entries[j-1].tokens); j-- {
+			entries[j], entries[j-1] = entries[j-1], entries[j]
+		}
+	}
+}
+
+// Match finds gazetteer entity mentions in the token stream, scanning left
+// to right with longest-match-wins and no overlaps.
+func (m *Matcher) Match(text string, tokens []Token) []Mention {
+	var out []Mention
+	for i := 0; i < len(tokens); {
+		entries := m.byFirst[tokens[i].Lower]
+		matched := false
+		for _, e := range entries {
+			if i+len(e.tokens) > len(tokens) {
+				continue
+			}
+			if e.exactCase != "" && tokens[i].Text != e.exactCase {
+				continue
+			}
+			ok := true
+			for j, want := range e.tokens {
+				if tokens[i+j].Lower != want {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			start := tokens[i].Start
+			end := tokens[i+len(e.tokens)-1].End
+			out = append(out, Mention{
+				EntityID: e.entityID,
+				Surface:  text[start:end],
+				Kind:     e.kind,
+				Start:    start,
+				End:      end,
+			})
+			i += len(e.tokens)
+			matched = true
+			break
+		}
+		if !matched {
+			i++
+		}
+	}
+	return out
+}
+
+// HeuristicMentions finds capitalized token runs that the gazetteer did not
+// match and reports them as Unknown entities. Sentence-initial single
+// capitalized words are skipped (ordinary sentence case), as are stopwords
+// — this is the recall-over-precision half of NER that some engine
+// profiles enable.
+func HeuristicMentions(text string, tokens []Token, covered []Mention, stop map[string]bool) []Mention {
+	coveredAt := make(map[int]bool)
+	for _, m := range covered {
+		for b := m.Start; b < m.End; b++ {
+			coveredAt[b] = true
+		}
+	}
+	var out []Mention
+	for i := 0; i < len(tokens); {
+		t := tokens[i]
+		if !IsCapitalized(t.Text) || coveredAt[t.Start] || stop[t.Lower] {
+			i++
+			continue
+		}
+		// Collect the full capitalized run.
+		j := i
+		for j < len(tokens) && IsCapitalized(tokens[j].Text) && !coveredAt[tokens[j].Start] && !stop[tokens[j].Lower] {
+			j++
+		}
+		runLen := j - i
+		// A single sentence-initial capitalized word is ordinary
+		// sentence case, not evidence of an entity.
+		if runLen == 1 && t.SentenceStart {
+			i = j
+			continue
+		}
+		start := tokens[i].Start
+		end := tokens[j-1].End
+		surface := text[start:end]
+		out = append(out, Mention{
+			EntityID: "unknown:" + strings.ToLower(surface),
+			Surface:  surface,
+			Kind:     "Unknown",
+			Start:    start,
+			End:      end,
+		})
+		i = j
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+// Package nlu implements the natural-language-understanding substrate: the
+// local equivalents of the cognitive services the paper's SDK invokes
+// (IBM Watson, Microsoft, Google, Amazon NLU). It provides tokenization,
+// named entity recognition over a gazetteer, keyword extraction, document
+// and per-entity sentiment analysis, concept/taxonomy mapping, and named
+// entity disambiguation. Three differently tuned engine profiles stand in
+// for competing vendors so the SDK's ranking, aggregation, and comparison
+// features have real services to exercise.
+package nlu
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is one word-level token with its byte offsets in the source text.
+type Token struct {
+	// Text is the token as it appears in the source.
+	Text string
+	// Lower is the lower-cased form, precomputed for matching.
+	Lower string
+	// Start and End are byte offsets into the source ([Start, End)).
+	Start int
+	End   int
+	// SentenceStart marks the first token of a sentence.
+	SentenceStart bool
+}
+
+// Tokenize splits text into word tokens, recording offsets and sentence
+// boundaries. Tokens are maximal runs of letters, digits, and internal
+// apostrophes; everything else separates tokens.
+func Tokenize(text string) []Token {
+	var tokens []Token
+	sentenceStart := true
+	i := 0
+	n := len(text)
+	for i < n {
+		r := rune(text[i])
+		// ASCII fast path covers the corpus; fall back for multibyte.
+		if !isWordByte(text[i]) {
+			if r == '.' || r == '!' || r == '?' {
+				sentenceStart = true
+			}
+			i++
+			continue
+		}
+		start := i
+		for i < n && (isWordByte(text[i]) || (text[i] == '\'' && i+1 < n && isWordByte(text[i+1]))) {
+			i++
+		}
+		tok := text[start:i]
+		tokens = append(tokens, Token{
+			Text:          tok,
+			Lower:         strings.ToLower(tok),
+			Start:         start,
+			End:           i,
+			SentenceStart: sentenceStart,
+		})
+		sentenceStart = false
+	}
+	return tokens
+}
+
+func isWordByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' || b >= 0x80
+}
+
+// Sentences splits text into sentences on ., !, ? boundaries, trimming
+// whitespace and dropping empties.
+func Sentences(text string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		s := strings.TrimSpace(b.String())
+		if s != "" {
+			out = append(out, s)
+		}
+		b.Reset()
+	}
+	for _, r := range text {
+		b.WriteRune(r)
+		if r == '.' || r == '!' || r == '?' {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// IsCapitalized reports whether the token begins with an upper-case letter.
+func IsCapitalized(tok string) bool {
+	for _, r := range tok {
+		return unicode.IsUpper(r)
+	}
+	return false
+}

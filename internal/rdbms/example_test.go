@@ -1,0 +1,43 @@
+package rdbms_test
+
+import (
+	"fmt"
+
+	"repro/internal/rdbms"
+)
+
+func ExampleDB_Exec() {
+	db := rdbms.NewDB()
+	mustExec := func(q string) rdbms.ResultSet {
+		rs, err := db.Exec(q)
+		if err != nil {
+			panic(err)
+		}
+		return rs
+	}
+	mustExec("CREATE TABLE revenue (country TEXT, year INT, amount FLOAT)")
+	mustExec("INSERT INTO revenue (country, year, amount) VALUES ('country:us', 2025, 139), ('country:de', 2025, 93)")
+	rs := mustExec("SELECT country, amount FROM revenue WHERE year = 2025 ORDER BY amount DESC LIMIT 1")
+	fmt.Println(rs.Rows[0][0].Text, rs.Rows[0][1].Float)
+	// Output: country:us 139
+}
+
+func ExampleDB_Exec_aggregates() {
+	db := rdbms.NewDB()
+	if _, err := db.Exec("CREATE TABLE t (g TEXT, v INT)"); err != nil {
+		panic(err)
+	}
+	if _, err := db.Exec("INSERT INTO t (g, v) VALUES ('a', 1), ('a', 3), ('b', 10)"); err != nil {
+		panic(err)
+	}
+	rs, err := db.Exec("SELECT g, COUNT(*), AVG(v) FROM t GROUP BY g ORDER BY g")
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range rs.Rows {
+		fmt.Println(row[0].Text, row[1].Int, row[2].Float)
+	}
+	// Output:
+	// a 2 2
+	// b 1 10
+}

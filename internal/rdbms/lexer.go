@@ -1,0 +1,133 @@
+package rdbms
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies SQL tokens.
+type tokKind int
+
+const (
+	tokIdent tokKind = iota + 1
+	tokNumber
+	tokString
+	tokOp      // = != <> < <= > >=
+	tokPunct   // ( ) , * ;
+	tokKeyword // uppercase-normalized reserved word
+	tokEOF
+)
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "CREATE": true, "TABLE": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "ORDER": true,
+	"BY": true, "ASC": true, "DESC": true, "LIMIT": true, "AND": true,
+	"OR": true, "NOT": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"GROUP": true, "INDEX": true, "ON": true, "COUNT": true, "SUM": true,
+	"AVG": true, "MIN": true, "MAX": true, "DISTINCT": true,
+}
+
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased; identifiers as written
+	pos  int
+}
+
+// lex tokenizes a SQL statement.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		ch := input[i]
+		switch {
+		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r':
+			i++
+		case ch == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for j < n {
+				if input[j] == '\'' {
+					if j+1 < n && input[j+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("rdbms: unterminated string at %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+			i = j + 1
+		case ch >= '0' && ch <= '9' || (ch == '-' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9' && startsValue(toks)):
+			j := i + 1
+			for j < n && (input[j] >= '0' && input[j] <= '9' || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[i:j], pos: i})
+			i = j
+		case isIdentByte(ch):
+			j := i
+			for j < n && (isIdentByte(input[j]) || input[j] >= '0' && input[j] <= '9') {
+				j++
+			}
+			word := input[i:j]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{kind: tokKeyword, text: upper, pos: i})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: i})
+			}
+			i = j
+		case ch == '=' || ch == '<' || ch == '>' || ch == '!':
+			op := string(ch)
+			if i+1 < n && (input[i+1] == '=' || (ch == '<' && input[i+1] == '>')) {
+				op += string(input[i+1])
+				i++
+			}
+			if op == "!" {
+				return nil, fmt.Errorf("rdbms: stray '!' at %d", i)
+			}
+			toks = append(toks, token{kind: tokOp, text: op, pos: i})
+			i++
+		case ch == '(' || ch == ')' || ch == ',' || ch == '*' || ch == ';':
+			toks = append(toks, token{kind: tokPunct, text: string(ch), pos: i})
+			i++
+		default:
+			if unicode.IsPrint(rune(ch)) {
+				return nil, fmt.Errorf("rdbms: unexpected character %q at %d", ch, i)
+			}
+			return nil, fmt.Errorf("rdbms: unexpected byte 0x%02x at %d", ch, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b == '_'
+}
+
+// startsValue reports whether a '-' at the current position begins a
+// negative number (after operators, commas, parens, keywords) rather than
+// an infix minus (unsupported anyway).
+func startsValue(toks []token) bool {
+	if len(toks) == 0 {
+		return true
+	}
+	last := toks[len(toks)-1]
+	switch last.kind {
+	case tokOp, tokKeyword:
+		return true
+	case tokPunct:
+		return last.text == "(" || last.text == ","
+	default:
+		return false
+	}
+}

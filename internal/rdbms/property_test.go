@@ -1,0 +1,166 @@
+package rdbms
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests on the relational engine's core invariants.
+
+func TestInsertCountProperty(t *testing.T) {
+	// Property: after inserting n rows, COUNT(*) is n and SELECT * yields
+	// n rows.
+	f := func(values []int16) bool {
+		db := NewDB()
+		if _, err := db.Exec("CREATE TABLE t (v INT)"); err != nil {
+			return false
+		}
+		for _, v := range values {
+			if _, err := db.Exec(fmt.Sprintf("INSERT INTO t (v) VALUES (%d)", v)); err != nil {
+				return false
+			}
+		}
+		rs, err := db.Exec("SELECT COUNT(*) FROM t")
+		if err != nil || rs.Rows[0][0].Int != int64(len(values)) {
+			return false
+		}
+		all, err := db.Exec("SELECT * FROM t")
+		return err == nil && len(all.Rows) == len(values)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWherePartitionProperty(t *testing.T) {
+	// Property: for any pivot, rows(v < p) + rows(v >= p) == total.
+	f := func(values []int16, pivot int16) bool {
+		db := NewDB()
+		if _, err := db.Exec("CREATE TABLE t (v INT)"); err != nil {
+			return false
+		}
+		for _, v := range values {
+			if _, err := db.Exec(fmt.Sprintf("INSERT INTO t (v) VALUES (%d)", v)); err != nil {
+				return false
+			}
+		}
+		lt, err := db.Exec(fmt.Sprintf("SELECT COUNT(*) FROM t WHERE v < %d", pivot))
+		if err != nil {
+			return false
+		}
+		ge, err := db.Exec(fmt.Sprintf("SELECT COUNT(*) FROM t WHERE v >= %d", pivot))
+		if err != nil {
+			return false
+		}
+		return lt.Rows[0][0].Int+ge.Rows[0][0].Int == int64(len(values))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderBySortedProperty(t *testing.T) {
+	// Property: ORDER BY v ASC returns a non-decreasing sequence with the
+	// same multiset of values.
+	f := func(values []int16) bool {
+		db := NewDB()
+		if _, err := db.Exec("CREATE TABLE t (v INT)"); err != nil {
+			return false
+		}
+		counts := map[int16]int{}
+		for _, v := range values {
+			counts[v]++
+			if _, err := db.Exec(fmt.Sprintf("INSERT INTO t (v) VALUES (%d)", v)); err != nil {
+				return false
+			}
+		}
+		rs, err := db.Exec("SELECT v FROM t ORDER BY v ASC")
+		if err != nil || len(rs.Rows) != len(values) {
+			return false
+		}
+		for i, row := range rs.Rows {
+			v := int16(row[0].Int)
+			counts[v]--
+			if i > 0 && rs.Rows[i-1][0].Int > row[0].Int {
+				return false
+			}
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeleteComplementProperty(t *testing.T) {
+	// Property: DELETE WHERE v = x removes exactly the rows COUNT said it
+	// would.
+	f := func(values []uint8, target uint8) bool {
+		db := NewDB()
+		if _, err := db.Exec("CREATE TABLE t (v INT)"); err != nil {
+			return false
+		}
+		for _, v := range values {
+			if _, err := db.Exec(fmt.Sprintf("INSERT INTO t (v) VALUES (%d)", v%8)); err != nil {
+				return false
+			}
+		}
+		x := target % 8
+		before, err := db.Exec(fmt.Sprintf("SELECT COUNT(*) FROM t WHERE v = %d", x))
+		if err != nil {
+			return false
+		}
+		if _, err := db.Exec(fmt.Sprintf("DELETE FROM t WHERE v = %d", x)); err != nil {
+			return false
+		}
+		after, err := db.Exec("SELECT COUNT(*) FROM t")
+		if err != nil {
+			return false
+		}
+		return after.Rows[0][0].Int == int64(len(values))-before.Rows[0][0].Int
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSVExportImportIdentityProperty(t *testing.T) {
+	// Property: export/import round trips preserve row count and values
+	// for text-safe data.
+	f := func(names []uint8) bool {
+		db := NewDB()
+		if _, err := db.Exec("CREATE TABLE t (name TEXT, v INT)"); err != nil {
+			return false
+		}
+		for i, n := range names {
+			q := fmt.Sprintf("INSERT INTO t (name, v) VALUES ('n%d', %d)", n, i)
+			if _, err := db.Exec(q); err != nil {
+				return false
+			}
+		}
+		tab, err := db.Table("t")
+		if err != nil {
+			return false
+		}
+		var out strings.Builder
+		if err := tab.ExportCSV(&out); err != nil {
+			return false
+		}
+		db2 := NewDB()
+		tab2, err := db2.ImportCSV("t", strings.NewReader(out.String()))
+		if err != nil {
+			return false
+		}
+		return tab2.Len() == tab.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package rdbms implements the relational storage substrate of the
+// personalized knowledge base — the role MySQL plays in the paper. It is a
+// small in-memory relational engine with typed columns, a SQL subset
+// (CREATE TABLE, INSERT, SELECT with WHERE/ORDER BY/LIMIT and aggregates,
+// UPDATE, DELETE), hash indexes, and CSV import/export for the knowledge
+// base's format conversions.
+package rdbms
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Type is a column type.
+type Type int
+
+// Column types.
+const (
+	TypeInt Type = iota + 1
+	TypeFloat
+	TypeText
+	TypeBool
+)
+
+// String returns the SQL name of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "INT"
+	case TypeFloat:
+		return "FLOAT"
+	case TypeText:
+		return "TEXT"
+	case TypeBool:
+		return "BOOL"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// ParseType parses a SQL type name (case-insensitive, with common aliases).
+func ParseType(s string) (Type, error) {
+	switch strings.ToUpper(s) {
+	case "INT", "INTEGER", "BIGINT":
+		return TypeInt, nil
+	case "FLOAT", "DOUBLE", "REAL", "DECIMAL":
+		return TypeFloat, nil
+	case "TEXT", "VARCHAR", "STRING", "CHAR":
+		return TypeText, nil
+	case "BOOL", "BOOLEAN":
+		return TypeBool, nil
+	default:
+		return 0, fmt.Errorf("rdbms: unknown type %q", s)
+	}
+}
+
+// Value is a typed cell value. A Value with Null true carries no payload.
+type Value struct {
+	Type  Type
+	Null  bool
+	Int   int64
+	Float float64
+	Text  string
+	Bool  bool
+}
+
+// Convenience constructors.
+func IntV(v int64) Value     { return Value{Type: TypeInt, Int: v} }
+func FloatV(v float64) Value { return Value{Type: TypeFloat, Float: v} }
+func TextV(v string) Value   { return Value{Type: TypeText, Text: v} }
+func BoolV(v bool) Value     { return Value{Type: TypeBool, Bool: v} }
+func NullV(t Type) Value     { return Value{Type: t, Null: true} }
+
+// String renders the value for display and CSV export.
+func (v Value) String() string {
+	if v.Null {
+		return ""
+	}
+	switch v.Type {
+	case TypeInt:
+		return strconv.FormatInt(v.Int, 10)
+	case TypeFloat:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case TypeBool:
+		return strconv.FormatBool(v.Bool)
+	default:
+		return v.Text
+	}
+}
+
+// AsFloat converts numeric values to float64 for aggregation.
+func (v Value) AsFloat() (float64, error) {
+	if v.Null {
+		return 0, errors.New("rdbms: NULL is not numeric")
+	}
+	switch v.Type {
+	case TypeInt:
+		return float64(v.Int), nil
+	case TypeFloat:
+		return v.Float, nil
+	default:
+		return 0, fmt.Errorf("rdbms: %s is not numeric", v.Type)
+	}
+}
+
+// Compare orders two values of compatible types: -1, 0, +1. NULLs sort
+// before everything and equal each other.
+func Compare(a, b Value) (int, error) {
+	if a.Null && b.Null {
+		return 0, nil
+	}
+	if a.Null {
+		return -1, nil
+	}
+	if b.Null {
+		return 1, nil
+	}
+	// Numeric cross-type comparison.
+	if (a.Type == TypeInt || a.Type == TypeFloat) && (b.Type == TypeInt || b.Type == TypeFloat) {
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if a.Type != b.Type {
+		return 0, fmt.Errorf("rdbms: cannot compare %s with %s", a.Type, b.Type)
+	}
+	switch a.Type {
+	case TypeText:
+		return strings.Compare(a.Text, b.Text), nil
+	case TypeBool:
+		switch {
+		case a.Bool == b.Bool:
+			return 0, nil
+		case !a.Bool:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	default:
+		return 0, fmt.Errorf("rdbms: cannot compare %s", a.Type)
+	}
+}
+
+// Coerce converts a raw string into a value of the target type, used by CSV
+// import and literal binding. Empty strings become NULL.
+func Coerce(raw string, t Type) (Value, error) {
+	if raw == "" {
+		return NullV(t), nil
+	}
+	switch t {
+	case TypeInt:
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("rdbms: %q is not an INT: %w", raw, err)
+		}
+		return IntV(n), nil
+	case TypeFloat:
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("rdbms: %q is not a FLOAT: %w", raw, err)
+		}
+		return FloatV(f), nil
+	case TypeBool:
+		b, err := strconv.ParseBool(strings.ToLower(raw))
+		if err != nil {
+			return Value{}, fmt.Errorf("rdbms: %q is not a BOOL: %w", raw, err)
+		}
+		return BoolV(b), nil
+	default:
+		return TextV(raw), nil
+	}
+}

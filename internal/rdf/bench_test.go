@@ -1,0 +1,99 @@
+package rdf
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchGraph(n int) *Graph {
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		g.MustAdd(st(fmt.Sprintf("s%d", i%100), fmt.Sprintf("p%d", i%10), fmt.Sprintf("o%d", i)))
+	}
+	return g
+}
+
+func BenchmarkGraphAdd(b *testing.B) {
+	g := NewGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Add(st(fmt.Sprintf("s%d", i), "p", fmt.Sprintf("o%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGraphMatchBySubject(b *testing.B) {
+	g := benchGraph(10000)
+	pattern := Statement{S: NewIRI("s42")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := g.Match(pattern); len(got) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+func BenchmarkSolveTwoPatternJoin(b *testing.B) {
+	g := NewGraph()
+	for i := 0; i < 500; i++ {
+		g.MustAdd(st(fmt.Sprintf("a%d", i), "knows", fmt.Sprintf("a%d", i+1)))
+	}
+	patterns := []Statement{
+		{S: NewVar("x"), P: NewIRI("knows"), O: NewVar("y")},
+		{S: NewVar("y"), P: NewIRI("knows"), O: NewVar("z")},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := g.Solve(patterns); len(got) == 0 {
+			b.Fatal("no solutions")
+		}
+	}
+}
+
+func BenchmarkForwardChainTransitive20(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := NewGraph()
+		for j := 0; j < 19; j++ {
+			g.MustAdd(st(fmt.Sprintf("c%02d", j), RDFSSubClassOf, fmt.Sprintf("c%02d", j+1)))
+		}
+		if _, err := ForwardChain(g, TransitiveRules(), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBackwardChainGroundGoal(b *testing.B) {
+	g := NewGraph()
+	n := 30
+	for j := 0; j < n-1; j++ {
+		g.MustAdd(st(fmt.Sprintf("c%02d", j), RDFSSubClassOf, fmt.Sprintf("c%02d", j+1)))
+	}
+	goal := st("c00", RDFSSubClassOf, fmt.Sprintf("c%02d", n-1))
+	rules := TransitiveRules()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bindings, err := BackwardChain(g, rules, goal, 2*n)
+		if err != nil || len(bindings) == 0 {
+			b.Fatalf("(%v, %v)", bindings, err)
+		}
+	}
+}
+
+func BenchmarkQueryBGP(b *testing.B) {
+	g := benchGraph(5000)
+	q := "SELECT ?s ?o WHERE { ?s <p3> ?o }"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := g.Query(q)
+		if err != nil || len(res.Rows) == 0 {
+			b.Fatalf("(%v, %v)", len(res.Rows), err)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package rdf
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The paper's future work (§5): "determining accuracy levels of data
+// stored within the personalized knowledge base, using these accuracy
+// levels during the process of inferring new facts, and assigning accuracy
+// levels to newly inferred facts". Confidences attaches an accuracy level
+// in (0, 1] to each statement; ForwardChainConfidence propagates levels
+// through inference: a derived fact's confidence is the minimum of its
+// premises' confidences scaled by the rule's own confidence, and a fact
+// derivable several ways keeps its best-supported level.
+
+// Confidences tracks per-statement accuracy levels alongside a Graph. It
+// is safe for concurrent use.
+type Confidences struct {
+	mu     sync.RWMutex
+	levels map[string]float64
+	// def is the level assumed for statements never assigned one.
+	def float64
+}
+
+// NewConfidences returns a tracker whose unassigned statements default to
+// defaultLevel (clamped to (0, 1]; 0 means 1.0, i.e. trusted).
+func NewConfidences(defaultLevel float64) *Confidences {
+	if defaultLevel <= 0 || defaultLevel > 1 {
+		defaultLevel = 1
+	}
+	return &Confidences{levels: make(map[string]float64), def: defaultLevel}
+}
+
+// Set assigns a confidence level to a statement. Levels outside (0, 1]
+// are rejected.
+func (c *Confidences) Set(s Statement, level float64) error {
+	if level <= 0 || level > 1 {
+		return fmt.Errorf("rdf: confidence %v out of (0, 1]", level)
+	}
+	c.mu.Lock()
+	c.levels[s.key()] = level
+	c.mu.Unlock()
+	return nil
+}
+
+// Get returns a statement's confidence level (the default if unassigned).
+func (c *Confidences) Get(s Statement) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if l, ok := c.levels[s.key()]; ok {
+		return l
+	}
+	return c.def
+}
+
+// raise lifts a statement's level to at least `level` (facts derivable in
+// several ways keep their best support).
+func (c *Confidences) raise(s Statement, level float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.levels[s.key()]; !ok || level > cur {
+		c.levels[s.key()] = level
+	}
+}
+
+// ConfidentRule pairs a rule with the rule's own confidence: how much an
+// application trusts conclusions drawn by it even from perfect premises.
+type ConfidentRule struct {
+	Rule
+	// Confidence in (0, 1]; 0 is treated as 1.
+	Confidence float64
+}
+
+// ForwardChainConfidence forward-chains the rules to fixpoint, assigning
+// each derived statement the confidence
+//
+//	ruleConfidence * min(premise confidences)
+//
+// and keeping the maximum over alternative derivations. It returns the
+// number of statements whose confidence was newly assigned or raised.
+// Iteration continues while any level rises, so confidence flows through
+// multi-step derivations; minThreshold discards derivations weaker than
+// the threshold (0 keeps everything).
+func ForwardChainConfidence(g *Graph, conf *Confidences, rules []ConfidentRule, minThreshold float64, maxIterations int) (int, error) {
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return 0, err
+		}
+	}
+	if maxIterations <= 0 {
+		maxIterations = 1000
+	}
+	changed := 0
+	for iter := 0; iter < maxIterations; iter++ {
+		roundChanged := 0
+		for _, rule := range rules {
+			rc := rule.Confidence
+			if rc <= 0 || rc > 1 {
+				rc = 1
+			}
+			for _, b := range g.Solve(rule.Premises) {
+				// The derivation's support: the weakest premise.
+				support := rc
+				for _, p := range rule.Premises {
+					ground := substitute(p, b)
+					level := conf.Get(ground)
+					if level*rc < support {
+						support = level * rc
+					}
+				}
+				if support < minThreshold {
+					continue
+				}
+				for _, cl := range rule.Conclusions {
+					ground := substitute(cl, b)
+					if !ground.Ground() {
+						return changed, fmt.Errorf("rdf: rule %s produced non-ground %s", rule.Name, ground)
+					}
+					added, err := g.Add(ground)
+					if err != nil {
+						return changed, err
+					}
+					before := 0.0
+					if !added {
+						before = conf.Get(ground)
+					}
+					conf.raise(ground, support)
+					if added || conf.Get(ground) > before {
+						roundChanged++
+					}
+				}
+			}
+		}
+		changed += roundChanged
+		if roundChanged == 0 {
+			return changed, nil
+		}
+	}
+	return changed, fmt.Errorf("rdf: confidence chaining did not converge in %d iterations", maxIterations)
+}

@@ -1,0 +1,194 @@
+package rdf
+
+import (
+	"math"
+	"testing"
+)
+
+func confRule(name string, conf float64) ConfidentRule {
+	return ConfidentRule{
+		Confidence: conf,
+		Rule: Rule{
+			Name: name,
+			Premises: []Statement{
+				{S: NewVar("x"), P: NewIRI("parentOf"), O: NewVar("y")},
+				{S: NewVar("y"), P: NewIRI("parentOf"), O: NewVar("z")},
+			},
+			Conclusions: []Statement{
+				{S: NewVar("x"), P: NewIRI("grandparentOf"), O: NewVar("z")},
+			},
+		},
+	}
+}
+
+func TestConfidencesSetGetDefault(t *testing.T) {
+	c := NewConfidences(0.8)
+	s := st("a", "p", "b")
+	if got := c.Get(s); got != 0.8 {
+		t.Errorf("default = %v, want 0.8", got)
+	}
+	if err := c.Set(s, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Get(s); got != 0.6 {
+		t.Errorf("Get = %v, want 0.6", got)
+	}
+	if err := c.Set(s, 0); err == nil {
+		t.Error("level 0 accepted")
+	}
+	if err := c.Set(s, 1.1); err == nil {
+		t.Error("level 1.1 accepted")
+	}
+}
+
+func TestConfidencesDefaultClamped(t *testing.T) {
+	c := NewConfidences(-1)
+	if got := c.Get(st("a", "p", "b")); got != 1 {
+		t.Errorf("clamped default = %v, want 1", got)
+	}
+}
+
+func TestDerivedConfidenceIsMinTimesRule(t *testing.T) {
+	g := NewGraph()
+	conf := NewConfidences(1)
+	p1 := st("alice", "parentOf", "bob")
+	p2 := st("bob", "parentOf", "carol")
+	g.MustAdd(p1)
+	g.MustAdd(p2)
+	if err := conf.Set(p1, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := conf.Set(p2, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := ForwardChainConfidence(g, conf, []ConfidentRule{confRule("gp", 0.5)}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed == 0 {
+		t.Fatal("nothing derived")
+	}
+	derived := st("alice", "grandparentOf", "carol")
+	if !g.Has(derived) {
+		t.Fatal("fact not derived")
+	}
+	// min(0.9, 0.6) * 0.5 = 0.3
+	if got := conf.Get(derived); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("derived confidence = %v, want 0.3", got)
+	}
+}
+
+func TestAlternativeDerivationKeepsBest(t *testing.T) {
+	g := NewGraph()
+	conf := NewConfidences(1)
+	// Two rules deriving the same fact from differently trusted premises.
+	weak := st("x", "weakSign", "y")
+	strong := st("x", "strongSign", "y")
+	g.MustAdd(weak)
+	g.MustAdd(strong)
+	if err := conf.Set(weak, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := conf.Set(strong, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name, pred string) ConfidentRule {
+		return ConfidentRule{
+			Confidence: 1,
+			Rule: Rule{
+				Name:        name,
+				Premises:    []Statement{{S: NewVar("a"), P: NewIRI(pred), O: NewVar("b")}},
+				Conclusions: []Statement{{S: NewVar("a"), P: NewIRI("related"), O: NewVar("b")}},
+			},
+		}
+	}
+	if _, err := ForwardChainConfidence(g, conf, []ConfidentRule{mk("w", "weakSign"), mk("s", "strongSign")}, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	derived := st("x", "related", "y")
+	if got := conf.Get(derived); got != 0.9 {
+		t.Errorf("best-derivation confidence = %v, want 0.9", got)
+	}
+}
+
+func TestConfidenceFlowsThroughChains(t *testing.T) {
+	// a->b->c->d subclass chain with decreasing trust: the transitive
+	// closure fact a<d carries the weakest link's level.
+	g := NewGraph()
+	conf := NewConfidences(1)
+	links := []struct {
+		s Statement
+		l float64
+	}{
+		{st("a", RDFSSubClassOf, "b"), 1.0},
+		{st("b", RDFSSubClassOf, "c"), 0.5},
+		{st("c", RDFSSubClassOf, "d"), 0.8},
+	}
+	for _, lk := range links {
+		g.MustAdd(lk.s)
+		if err := conf.Set(lk.s, lk.l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rules := make([]ConfidentRule, 0, len(TransitiveRules()))
+	for _, r := range TransitiveRules() {
+		rules = append(rules, ConfidentRule{Rule: r, Confidence: 1})
+	}
+	if _, err := ForwardChainConfidence(g, conf, rules, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	ad := st("a", RDFSSubClassOf, "d")
+	if !g.Has(ad) {
+		t.Fatal("closure fact missing")
+	}
+	if got := conf.Get(ad); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("chain confidence = %v, want 0.5 (weakest link)", got)
+	}
+}
+
+func TestThresholdPrunesWeakDerivations(t *testing.T) {
+	g := NewGraph()
+	conf := NewConfidences(1)
+	p1 := st("alice", "parentOf", "bob")
+	p2 := st("bob", "parentOf", "carol")
+	g.MustAdd(p1)
+	g.MustAdd(p2)
+	if err := conf.Set(p1, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ForwardChainConfidence(g, conf, []ConfidentRule{confRule("gp", 1)}, 0.5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.Has(st("alice", "grandparentOf", "carol")) {
+		t.Error("sub-threshold derivation asserted")
+	}
+}
+
+func TestConfidenceChainIdempotent(t *testing.T) {
+	g := NewGraph()
+	conf := NewConfidences(1)
+	g.MustAdd(st("a", "parentOf", "b"))
+	g.MustAdd(st("b", "parentOf", "c"))
+	rules := []ConfidentRule{confRule("gp", 0.9)}
+	if _, err := ForwardChainConfidence(g, conf, rules, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := ForwardChainConfidence(g, conf, rules, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 0 {
+		t.Errorf("second run changed %d levels, want 0", changed)
+	}
+}
+
+func TestConfidenceRuleValidation(t *testing.T) {
+	bad := ConfidentRule{Rule: Rule{
+		Name:        "bad",
+		Premises:    []Statement{{S: NewVar("x"), P: NewIRI("p"), O: NewVar("y")}},
+		Conclusions: []Statement{{S: NewVar("z"), P: NewIRI("q"), O: NewVar("y")}},
+	}}
+	if _, err := ForwardChainConfidence(NewGraph(), NewConfidences(1), []ConfidentRule{bad}, 0, 0); err == nil {
+		t.Error("invalid rule accepted")
+	}
+}

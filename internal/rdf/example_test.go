@@ -1,0 +1,65 @@
+package rdf_test
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// The paper's statement example: subject, predicate, object.
+func ExampleGraph_Query() {
+	g := rdf.NewGraph()
+	g.MustAdd(rdf.Statement{
+		S: rdf.NewIRI("java:HashMap"),
+		P: rdf.NewIRI("implements"),
+		O: rdf.NewIRI("java:Map"),
+	})
+	res, err := g.Query("SELECT ?what WHERE { <java:HashMap> <implements> ?what }")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.Rows[0][0].Value)
+	// Output: java:Map
+}
+
+// Forward chaining materializes the transitive closure.
+func ExampleForwardChain() {
+	g := rdf.NewGraph()
+	g.MustAdd(rdf.Statement{S: rdf.NewIRI("dachshund"), P: rdf.NewIRI(rdf.RDFSSubClassOf), O: rdf.NewIRI("dog")})
+	g.MustAdd(rdf.Statement{S: rdf.NewIRI("dog"), P: rdf.NewIRI(rdf.RDFSSubClassOf), O: rdf.NewIRI("animal")})
+	derived, err := rdf.ForwardChain(g, rdf.TransitiveRules(), 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(derived, g.Has(rdf.Statement{
+		S: rdf.NewIRI("dachshund"), P: rdf.NewIRI(rdf.RDFSSubClassOf), O: rdf.NewIRI("animal"),
+	}))
+	// Output: 1 true
+}
+
+// Backward chaining proves a goal without materializing the closure.
+func ExampleBackwardChain() {
+	g := rdf.NewGraph()
+	g.MustAdd(rdf.Statement{S: rdf.NewIRI("alice"), P: rdf.NewIRI("parentOf"), O: rdf.NewIRI("bob")})
+	g.MustAdd(rdf.Statement{S: rdf.NewIRI("bob"), P: rdf.NewIRI("parentOf"), O: rdf.NewIRI("carol")})
+	grandparent := rdf.Rule{
+		Name: "grandparent",
+		Premises: []rdf.Statement{
+			{S: rdf.NewVar("x"), P: rdf.NewIRI("parentOf"), O: rdf.NewVar("y")},
+			{S: rdf.NewVar("y"), P: rdf.NewIRI("parentOf"), O: rdf.NewVar("z")},
+		},
+		Conclusions: []rdf.Statement{
+			{S: rdf.NewVar("x"), P: rdf.NewIRI("grandparentOf"), O: rdf.NewVar("z")},
+		},
+	}
+	goal := rdf.Statement{S: rdf.NewIRI("alice"), P: rdf.NewIRI("grandparentOf"), O: rdf.NewVar("who")}
+	bindings, err := rdf.BackwardChain(g, []rdf.Rule{grandparent}, goal, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(bindings[0]["who"].Value)
+	// Output: carol
+}

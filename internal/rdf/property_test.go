@@ -1,0 +1,167 @@
+package rdf
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests on the triple store's core invariants.
+
+func genStatement(a, b, c uint8) Statement {
+	return st(fmt.Sprintf("s%d", a%16), fmt.Sprintf("p%d", b%8), fmt.Sprintf("o%d", c%16))
+}
+
+func TestAddMatchConsistencyProperty(t *testing.T) {
+	// Property: after adding any set of statements, every added statement
+	// is found by Has, by a fully-bound Match, and by each single-position
+	// pattern.
+	f := func(triples [][3]uint8) bool {
+		g := NewGraph()
+		for _, tr := range triples {
+			s := genStatement(tr[0], tr[1], tr[2])
+			if _, err := g.Add(s); err != nil {
+				return false
+			}
+		}
+		for _, tr := range triples {
+			s := genStatement(tr[0], tr[1], tr[2])
+			if !g.Has(s) {
+				return false
+			}
+			if len(g.Match(s)) != 1 {
+				return false
+			}
+			found := false
+			for _, m := range g.Match(Statement{S: s.S}) {
+				if m == s {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddRemoveRoundTripProperty(t *testing.T) {
+	// Property: adding then removing a statement restores Len and makes
+	// every index forget it.
+	f := func(a, b, c uint8, extra [][3]uint8) bool {
+		g := NewGraph()
+		for _, tr := range extra {
+			if _, err := g.Add(genStatement(tr[0], tr[1], tr[2])); err != nil {
+				return false
+			}
+		}
+		before := g.Len()
+		s := genStatement(a, b, c)
+		added, err := g.Add(s)
+		if err != nil {
+			return false
+		}
+		if !added {
+			// Already present via extra; removal then drops it.
+			g.Remove(s)
+			return g.Len() == before-1 && !g.Has(s)
+		}
+		g.Remove(s)
+		if g.Len() != before || g.Has(s) {
+			return false
+		}
+		for _, m := range g.Match(Statement{P: s.P}) {
+			if m == s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchSubsetOfAllProperty(t *testing.T) {
+	// Property: any pattern's matches are a subset of All() and each
+	// result actually matches the pattern.
+	f := func(triples [][3]uint8, ps, pp, po uint8, maskBits uint8) bool {
+		g := NewGraph()
+		for _, tr := range triples {
+			if _, err := g.Add(genStatement(tr[0], tr[1], tr[2])); err != nil {
+				return false
+			}
+		}
+		pattern := genStatement(ps, pp, po)
+		if maskBits&1 != 0 {
+			pattern.S = Term{}
+		}
+		if maskBits&2 != 0 {
+			pattern.P = Term{}
+		}
+		if maskBits&4 != 0 {
+			pattern.O = Term{}
+		}
+		all := make(map[string]bool)
+		for _, s := range g.All() {
+			all[s.key()] = true
+		}
+		for _, m := range g.Match(pattern) {
+			if !all[m.key()] {
+				return false
+			}
+			if bound(pattern.S) && m.S != pattern.S {
+				return false
+			}
+			if bound(pattern.P) && m.P != pattern.P {
+				return false
+			}
+			if bound(pattern.O) && m.O != pattern.O {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForwardChainMonotoneProperty(t *testing.T) {
+	// Property: forward chaining only adds statements (never removes) and
+	// every original statement survives.
+	f := func(links []uint8) bool {
+		g := NewGraph()
+		var originals []Statement
+		for i, l := range links {
+			s := st(fmt.Sprintf("c%d", l%12), RDFSSubClassOf, fmt.Sprintf("c%d", (l+uint8(i)+1)%12))
+			if s.S == s.O {
+				continue
+			}
+			if _, err := g.Add(s); err != nil {
+				return false
+			}
+			originals = append(originals, s)
+		}
+		before := g.Len()
+		if _, err := ForwardChain(g, TransitiveRules(), 0); err != nil {
+			return false
+		}
+		if g.Len() < before {
+			return false
+		}
+		for _, s := range originals {
+			if !g.Has(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,412 @@
+package rdf
+
+import (
+	"fmt"
+)
+
+// Well-known vocabulary IRIs.
+const (
+	RDFType           = "rdf:type"
+	RDFSSubClassOf    = "rdfs:subClassOf"
+	RDFSSubPropertyOf = "rdfs:subPropertyOf"
+	RDFSDomain        = "rdfs:domain"
+	RDFSRange         = "rdfs:range"
+)
+
+// Rule is one user-defined inference rule: when every premise matches (with
+// consistent variable bindings), each conclusion is asserted. This is the
+// paper's "generic rule reasoner that supports user-defined rules".
+type Rule struct {
+	Name        string
+	Premises    []Statement
+	Conclusions []Statement
+}
+
+// Validate checks that every conclusion variable is bound by some premise.
+func (r Rule) Validate() error {
+	bound := make(map[string]bool)
+	for _, p := range r.Premises {
+		for _, t := range []Term{p.S, p.P, p.O} {
+			if t.IsVar() {
+				bound[t.Value] = true
+			}
+		}
+	}
+	for _, c := range r.Conclusions {
+		for _, t := range []Term{c.S, c.P, c.O} {
+			if t.IsVar() && !bound[t.Value] {
+				return fmt.Errorf("rdf: rule %s: conclusion variable ?%s unbound", r.Name, t.Value)
+			}
+		}
+	}
+	return nil
+}
+
+// ForwardChain applies the rules to the graph until fixpoint, asserting
+// every derivable statement. It returns the number of new statements and
+// supports the paper's Figure 5 loop: analysis results enter the store,
+// inference generates new facts. maxIterations bounds runaway rule sets
+// (0 means 1000).
+func ForwardChain(g *Graph, rules []Rule, maxIterations int) (int, error) {
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return 0, err
+		}
+	}
+	if maxIterations <= 0 {
+		maxIterations = 1000
+	}
+	totalNew := 0
+	for iter := 0; iter < maxIterations; iter++ {
+		newThisRound := 0
+		for _, rule := range rules {
+			for _, b := range g.Solve(rule.Premises) {
+				for _, c := range rule.Conclusions {
+					ground := substitute(c, b)
+					if !ground.Ground() {
+						return totalNew, fmt.Errorf("rdf: rule %s produced non-ground %s", rule.Name, ground)
+					}
+					added, err := g.Add(ground)
+					if err != nil {
+						return totalNew, err
+					}
+					if added {
+						newThisRound++
+					}
+				}
+			}
+		}
+		totalNew += newThisRound
+		if newThisRound == 0 {
+			return totalNew, nil
+		}
+	}
+	return totalNew, fmt.Errorf("rdf: forward chaining did not converge in %d iterations", maxIterations)
+}
+
+// BackwardChain proves goal (a pattern, possibly with variables) against
+// the graph plus rules, goal-directed with tabling: in-progress goal shapes
+// cut cycles, and completed goals' answers are cached and reused. This is
+// the paper's "tabled backward chaining" execution strategy.
+//
+// The tabling is approximate: answers cached for a goal that completed
+// under a cycle cut may under-report bindings for adversarially
+// mutually-recursive rule sets. For linear-recursive rules (transitivity,
+// subsumption, reachability — everything this repository uses) results are
+// complete; when in doubt, ForwardChain materializes the exact fixpoint.
+func BackwardChain(g *Graph, rules []Rule, goal Statement, maxDepth int) ([]Binding, error) {
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if maxDepth <= 0 {
+		maxDepth = 32
+	}
+	p := &prover{
+		g:          g,
+		rules:      rules,
+		maxDepth:   maxDepth,
+		inProgress: make(map[string]bool),
+		solved:     make(map[string][]Statement),
+	}
+	return p.prove(goal, Binding{}, 0), nil
+}
+
+type prover struct {
+	g          *Graph
+	rules      []Rule
+	maxDepth   int
+	inProgress map[string]bool
+	// solved tables completed goals: canonical pattern -> the ground
+	// statements that satisfy it. Without answer tabling, recursive rules
+	// (transitivity) recompute each subgoal's closure at every use and
+	// the search is exponential in the derivation depth.
+	solved map[string][]Statement
+}
+
+// prove returns bindings extending b under which goal holds.
+func (p *prover) prove(goal Statement, b Binding, depth int) []Binding {
+	if depth > p.maxDepth {
+		return nil
+	}
+	ground := substitute(goal, b)
+	// Goals are tabled by shape: variable names are canonicalized to
+	// positional placeholders so a renamed copy of a goal (the same
+	// pattern at a deeper recursion level) shares its tabling slot.
+	key := canonicalGoalKey(ground)
+	// Answer table: a completed goal's satisfying statements are reused
+	// instead of re-derived.
+	if stmts, done := p.solved[key]; done {
+		var results []Binding
+		for _, s := range stmts {
+			if nb := unify(ground, s, b); nb != nil {
+				results = append(results, nb)
+			}
+		}
+		return dedupeBindings(results)
+	}
+	var results []Binding
+	var stmts []Statement
+	seenStmt := make(map[string]bool)
+	record := func(nb Binding) {
+		results = append(results, nb)
+		s := substitute(ground, nb)
+		if s.Ground() && !seenStmt[s.key()] {
+			seenStmt[s.key()] = true
+			stmts = append(stmts, s)
+		}
+	}
+	// Facts.
+	for _, s := range p.g.Match(ground) {
+		if nb := unify(ground, s, b); nb != nil {
+			record(nb)
+		}
+	}
+	// Rules: cut cycles by refusing to re-enter a goal shape already
+	// being proven on this path. Re-entrant results are incomplete, so
+	// they are NOT recorded in the answer table.
+	if p.inProgress[key] {
+		return results
+	}
+	p.inProgress[key] = true
+	defer delete(p.inProgress, key)
+	for _, rule := range p.rules {
+		renamed := renameRule(rule, depth)
+		for _, c := range renamed.Conclusions {
+			// Unify the goal with the conclusion in a fresh scope.
+			nb := unifyPatterns(ground, c, Binding{})
+			if nb == nil {
+				continue
+			}
+			// Prove all premises under the rule-scope binding.
+			premiseBindings := p.proveAll(renamed.Premises, nb, depth+1)
+			for _, pb := range premiseBindings {
+				// Project the rule-scope solution back onto the goal's
+				// variables.
+				final := b.clone()
+				solved := substitute(substitute(c, pb), pb)
+				if merged := unify(ground, solved, final); merged != nil {
+					record(merged)
+				}
+			}
+		}
+	}
+	results = dedupeBindings(results)
+	// The goal completed at top-of-path: its answers are final for this
+	// BackwardChain invocation.
+	p.solved[key] = stmts
+	return results
+}
+
+func (p *prover) proveAll(premises []Statement, b Binding, depth int) []Binding {
+	results := []Binding{b}
+	for _, prem := range premises {
+		var next []Binding
+		for _, cur := range results {
+			next = append(next, p.prove(prem, cur, depth)...)
+		}
+		results = next
+		if len(results) == 0 {
+			return nil
+		}
+	}
+	return results
+}
+
+// unifyPatterns unifies two patterns (either may contain variables),
+// binding goal variables to conclusion terms and vice versa. Only bindings
+// of the second pattern's variables are recorded (rule scope).
+func unifyPatterns(goal, concl Statement, b Binding) Binding {
+	out := b.clone()
+	pairs := [][2]Term{{goal.S, concl.S}, {goal.P, concl.P}, {goal.O, concl.O}}
+	for _, pair := range pairs {
+		gt, ct := pair[0], pair[1]
+		switch {
+		case ct.IsVar():
+			if cur, ok := out[ct.Value]; ok {
+				if !gt.IsVar() && cur != gt {
+					return nil
+				}
+			} else if !gt.IsVar() && !gt.Zero() {
+				out[ct.Value] = gt
+			}
+		case gt.IsVar() || gt.Zero():
+			// Goal variable against a ground conclusion term: fine, the
+			// final unify after proving will bind it.
+		default:
+			if gt != ct {
+				return nil
+			}
+		}
+	}
+	return out
+}
+
+// renameRule makes rule variables depth-unique to avoid capture.
+func renameRule(r Rule, depth int) Rule {
+	suffix := fmt.Sprintf("#%d", depth)
+	ren := func(t Term) Term {
+		if t.IsVar() {
+			return NewVar(t.Value + suffix)
+		}
+		return t
+	}
+	out := Rule{Name: r.Name}
+	for _, p := range r.Premises {
+		out.Premises = append(out.Premises, Statement{S: ren(p.S), P: ren(p.P), O: ren(p.O)})
+	}
+	for _, c := range r.Conclusions {
+		out.Conclusions = append(out.Conclusions, Statement{S: ren(c.S), P: ren(c.P), O: ren(c.O)})
+	}
+	return out
+}
+
+// canonicalGoalKey renders a goal with variable names replaced by
+// positional placeholders (first distinct variable -> ?0, second -> ?1,
+// ...), so structurally identical goals that differ only in variable
+// naming share one tabling slot while repeated-variable patterns such as
+// "?x p ?x" stay distinct from "?x p ?y".
+func canonicalGoalKey(s Statement) string {
+	names := make(map[string]int, 3)
+	part := func(t Term) string {
+		if t.Zero() {
+			return "?_"
+		}
+		if t.IsVar() {
+			id, ok := names[t.Value]
+			if !ok {
+				id = len(names)
+				names[t.Value] = id
+			}
+			return fmt.Sprintf("?%d", id)
+		}
+		return t.key()
+	}
+	return part(s.S) + "\x01" + part(s.P) + "\x01" + part(s.O)
+}
+
+func dedupeBindings(bs []Binding) []Binding {
+	seen := make(map[string]bool, len(bs))
+	var out []Binding
+	for _, b := range bs {
+		key := bindingKey(b)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func bindingKey(b Binding) string {
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	// Insertion-order independence.
+	sortStrings(keys)
+	var sb []byte
+	for _, k := range keys {
+		sb = append(sb, k...)
+		sb = append(sb, 0)
+		sb = append(sb, b[k].key()...)
+		sb = append(sb, 1)
+	}
+	return string(sb)
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// TransitiveRules returns the transitive reasoner's rule set for class and
+// property lattices (paper: "a transitive reasoner with support for storing
+// and traversing class and property lattices").
+func TransitiveRules() []Rule {
+	return []Rule{
+		{
+			Name: "subclass-transitive",
+			Premises: []Statement{
+				{S: NewVar("a"), P: NewIRI(RDFSSubClassOf), O: NewVar("b")},
+				{S: NewVar("b"), P: NewIRI(RDFSSubClassOf), O: NewVar("c")},
+			},
+			Conclusions: []Statement{
+				{S: NewVar("a"), P: NewIRI(RDFSSubClassOf), O: NewVar("c")},
+			},
+		},
+		{
+			Name: "subproperty-transitive",
+			Premises: []Statement{
+				{S: NewVar("a"), P: NewIRI(RDFSSubPropertyOf), O: NewVar("b")},
+				{S: NewVar("b"), P: NewIRI(RDFSSubPropertyOf), O: NewVar("c")},
+			},
+			Conclusions: []Statement{
+				{S: NewVar("a"), P: NewIRI(RDFSSubPropertyOf), O: NewVar("c")},
+			},
+		},
+	}
+}
+
+// RDFSRules returns the RDF-Schema entailment subset the paper's "RDF
+// Schema rule reasoner" implements: rdfs2 (domain), rdfs3 (range), rdfs5
+// (subPropertyOf transitivity), rdfs7 (property inheritance), rdfs9 (class
+// membership inheritance), rdfs11 (subClassOf transitivity).
+func RDFSRules() []Rule {
+	v := NewVar
+	iri := NewIRI
+	return []Rule{
+		{
+			Name: "rdfs2-domain",
+			Premises: []Statement{
+				{S: v("p"), P: iri(RDFSDomain), O: v("c")},
+				{S: v("x"), P: v("p"), O: v("y")},
+			},
+			Conclusions: []Statement{{S: v("x"), P: iri(RDFType), O: v("c")}},
+		},
+		{
+			Name: "rdfs3-range",
+			Premises: []Statement{
+				{S: v("p"), P: iri(RDFSRange), O: v("c")},
+				{S: v("x"), P: v("p"), O: v("y")},
+			},
+			Conclusions: []Statement{{S: v("y"), P: iri(RDFType), O: v("c")}},
+		},
+		{
+			Name: "rdfs5-subproperty-transitive",
+			Premises: []Statement{
+				{S: v("p"), P: iri(RDFSSubPropertyOf), O: v("q")},
+				{S: v("q"), P: iri(RDFSSubPropertyOf), O: v("r")},
+			},
+			Conclusions: []Statement{{S: v("p"), P: iri(RDFSSubPropertyOf), O: v("r")}},
+		},
+		{
+			Name: "rdfs7-subproperty-inheritance",
+			Premises: []Statement{
+				{S: v("p"), P: iri(RDFSSubPropertyOf), O: v("q")},
+				{S: v("x"), P: v("p"), O: v("y")},
+			},
+			Conclusions: []Statement{{S: v("x"), P: v("q"), O: v("y")}},
+		},
+		{
+			Name: "rdfs9-subclass-membership",
+			Premises: []Statement{
+				{S: v("c"), P: iri(RDFSSubClassOf), O: v("d")},
+				{S: v("x"), P: iri(RDFType), O: v("c")},
+			},
+			Conclusions: []Statement{{S: v("x"), P: iri(RDFType), O: v("d")}},
+		},
+		{
+			Name: "rdfs11-subclass-transitive",
+			Premises: []Statement{
+				{S: v("c"), P: iri(RDFSSubClassOf), O: v("d")},
+				{S: v("d"), P: iri(RDFSSubClassOf), O: v("e")},
+			},
+			Conclusions: []Statement{{S: v("c"), P: iri(RDFSSubClassOf), O: v("e")}},
+		},
+	}
+}

@@ -1,0 +1,301 @@
+// Package rdf implements the RDF triple-store substrate of the
+// personalized knowledge base — the role Apache Jena plays in the paper. A
+// statement has a subject, predicate, and object (paper §3); the store
+// indexes statements by each position, answers pattern queries with
+// variables, runs a SPARQL-like basic-graph-pattern query language, and
+// provides the reasoners the paper lists: a transitive reasoner for class
+// and property lattices, an RDF-Schema rule reasoner, and a generic rule
+// reasoner supporting user-defined rules with forward chaining and
+// backward chaining.
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// TermKind classifies RDF terms.
+type TermKind int
+
+// Term kinds. Var terms appear only in query/rule patterns, never in
+// stored statements.
+const (
+	IRI TermKind = iota + 1
+	Literal
+	Blank
+	Var
+)
+
+// Term is one RDF term.
+type Term struct {
+	Kind  TermKind
+	Value string
+}
+
+// Convenience constructors.
+func NewIRI(v string) Term     { return Term{Kind: IRI, Value: v} }
+func NewLiteral(v string) Term { return Term{Kind: Literal, Value: v} }
+func NewBlank(v string) Term   { return Term{Kind: Blank, Value: v} }
+func NewVar(v string) Term     { return Term{Kind: Var, Value: v} }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Kind == Var }
+
+// Zero reports whether the term is the zero Term (wildcard in Match).
+func (t Term) Zero() bool { return t.Kind == 0 && t.Value == "" }
+
+// String renders the term in a Turtle-like syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value + ">"
+	case Literal:
+		return fmt.Sprintf("%q", t.Value)
+	case Blank:
+		return "_:" + t.Value
+	case Var:
+		return "?" + t.Value
+	default:
+		return "_"
+	}
+}
+
+// key is the interning key: kind-tagged value. Kind fits one byte; avoid
+// fmt to keep Match/Solve hot paths allocation-light.
+func (t Term) key() string {
+	return string([]byte{byte('0' + t.Kind)}) + "\x00" + t.Value
+}
+
+// Statement is one RDF triple. The paper's example: in "The Java HashMap
+// class implements the Java Map interface", the subject is "Java HashMap
+// class", the predicate "implements", and the object "Java Map interface".
+type Statement struct {
+	S, P, O Term
+}
+
+// String renders the statement Turtle-style.
+func (s Statement) String() string {
+	return fmt.Sprintf("%s %s %s .", s.S, s.P, s.O)
+}
+
+func (s Statement) key() string {
+	return s.S.key() + "\x01" + s.P.key() + "\x01" + s.O.key()
+}
+
+// Ground reports whether the statement contains no variables or zero terms.
+func (s Statement) Ground() bool {
+	for _, t := range []Term{s.S, s.P, s.O} {
+		if t.IsVar() || t.Zero() {
+			return false
+		}
+	}
+	return true
+}
+
+// Graph is an indexed triple store, safe for concurrent use.
+type Graph struct {
+	mu    sync.RWMutex
+	stmts map[string]Statement
+	byS   map[string]map[string]struct{} // subject key -> statement keys
+	byP   map[string]map[string]struct{}
+	byO   map[string]map[string]struct{}
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		stmts: make(map[string]Statement),
+		byS:   make(map[string]map[string]struct{}),
+		byP:   make(map[string]map[string]struct{}),
+		byO:   make(map[string]map[string]struct{}),
+	}
+}
+
+// Add inserts a ground statement. It reports whether the statement was new
+// and errors on non-ground statements.
+func (g *Graph) Add(s Statement) (bool, error) {
+	if !s.Ground() {
+		return false, fmt.Errorf("rdf: cannot store non-ground statement %s", s)
+	}
+	k := s.key()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.stmts[k]; dup {
+		return false, nil
+	}
+	g.stmts[k] = s
+	addIndex(g.byS, s.S.key(), k)
+	addIndex(g.byP, s.P.key(), k)
+	addIndex(g.byO, s.O.key(), k)
+	return true, nil
+}
+
+// MustAdd is Add that panics on error, for literal test/setup data.
+func (g *Graph) MustAdd(s Statement) {
+	if _, err := g.Add(s); err != nil {
+		panic(err)
+	}
+}
+
+// AddAll inserts many statements, returning how many were new.
+func (g *Graph) AddAll(stmts []Statement) (int, error) {
+	added := 0
+	for _, s := range stmts {
+		ok, err := g.Add(s)
+		if err != nil {
+			return added, err
+		}
+		if ok {
+			added++
+		}
+	}
+	return added, nil
+}
+
+// Remove deletes a statement, reporting whether it was present.
+func (g *Graph) Remove(s Statement) bool {
+	k := s.key()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.stmts[k]; !ok {
+		return false
+	}
+	delete(g.stmts, k)
+	delIndex(g.byS, s.S.key(), k)
+	delIndex(g.byP, s.P.key(), k)
+	delIndex(g.byO, s.O.key(), k)
+	return true
+}
+
+// Has reports whether the ground statement is stored.
+func (g *Graph) Has(s Statement) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.stmts[s.key()]
+	return ok
+}
+
+// Len returns the number of stored statements.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.stmts)
+}
+
+// All returns every statement, sorted for determinism.
+func (g *Graph) All() []Statement {
+	g.mu.RLock()
+	out := make([]Statement, 0, len(g.stmts))
+	for _, s := range g.stmts {
+		out = append(out, s)
+	}
+	g.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+// Match returns all statements matching the pattern, where variable or
+// zero terms match anything. The most selective available index drives the
+// scan.
+func (g *Graph) Match(pattern Statement) []Statement {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	candidates := g.candidateKeys(pattern)
+	var out []Statement
+	for k := range candidates {
+		s := g.stmts[k]
+		if matches(pattern, s) {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+// candidateKeys picks the smallest index set covering the pattern; caller
+// holds at least a read lock.
+func (g *Graph) candidateKeys(pattern Statement) map[string]struct{} {
+	type idxOpt struct {
+		set map[string]struct{}
+	}
+	var opts []idxOpt
+	if bound(pattern.S) {
+		opts = append(opts, idxOpt{g.byS[pattern.S.key()]})
+	}
+	if bound(pattern.P) {
+		opts = append(opts, idxOpt{g.byP[pattern.P.key()]})
+	}
+	if bound(pattern.O) {
+		opts = append(opts, idxOpt{g.byO[pattern.O.key()]})
+	}
+	if len(opts) == 0 {
+		all := make(map[string]struct{}, len(g.stmts))
+		for k := range g.stmts {
+			all[k] = struct{}{}
+		}
+		return all
+	}
+	best := opts[0].set
+	for _, o := range opts[1:] {
+		if len(o.set) < len(best) {
+			best = o.set
+		}
+	}
+	if best == nil {
+		return map[string]struct{}{}
+	}
+	return best
+}
+
+func bound(t Term) bool { return !t.IsVar() && !t.Zero() }
+
+func matches(pattern, s Statement) bool {
+	return termMatches(pattern.S, s.S) && termMatches(pattern.P, s.P) && termMatches(pattern.O, s.O)
+}
+
+func termMatches(p, t Term) bool {
+	if !bound(p) {
+		return true
+	}
+	return p == t
+}
+
+func addIndex(idx map[string]map[string]struct{}, key, stmt string) {
+	set := idx[key]
+	if set == nil {
+		set = make(map[string]struct{})
+		idx[key] = set
+	}
+	set[stmt] = struct{}{}
+}
+
+func delIndex(idx map[string]map[string]struct{}, key, stmt string) {
+	if set := idx[key]; set != nil {
+		delete(set, stmt)
+		if len(set) == 0 {
+			delete(idx, key)
+		}
+	}
+}
+
+// ParseTerm parses a Turtle-like term: <iri>, "literal", _:blank, ?var, or
+// a bare word (treated as an IRI).
+func ParseTerm(s string) (Term, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return Term{}, fmt.Errorf("rdf: empty term")
+	case strings.HasPrefix(s, "<") && strings.HasSuffix(s, ">"):
+		return NewIRI(s[1 : len(s)-1]), nil
+	case strings.HasPrefix(s, "\"") && strings.HasSuffix(s, "\"") && len(s) >= 2:
+		return NewLiteral(s[1 : len(s)-1]), nil
+	case strings.HasPrefix(s, "_:"):
+		return NewBlank(s[2:]), nil
+	case strings.HasPrefix(s, "?"):
+		return NewVar(s[1:]), nil
+	default:
+		return NewIRI(s), nil
+	}
+}

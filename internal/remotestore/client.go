@@ -1,0 +1,422 @@
+package remotestore
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/codec"
+	"repro/internal/kvstore"
+)
+
+// ErrNotFound is returned by Get for absent keys.
+var ErrNotFound = errors.New("remotestore: not found")
+
+// ErrOffline is returned when an operation needs the remote store but the
+// client is offline and no local fallback exists.
+var ErrOffline = errors.New("remotestore: offline")
+
+// Stats counts client activity.
+type Stats struct {
+	RemoteGets    int64
+	RemotePuts    int64
+	CacheHits     int64
+	OfflineWrites int64
+	SyncedWrites  int64
+	BytesSent     int64
+}
+
+// ClientConfig configures an enhanced data store client.
+type ClientConfig struct {
+	// BaseURL locates the cloud store ("http://host:port").
+	BaseURL string
+	// Codec transforms values before upload (typically Chain{Gzip,
+	// AESGCM}). Nil means Identity.
+	Codec codec.Codec
+	// CacheSize bounds the client-side read cache (entries); 0 disables
+	// caching.
+	CacheSize int
+	// CacheTTL expires cached reads; 0 means no expiry.
+	CacheTTL time.Duration
+	// Local, if non-nil, mirrors every write locally so reads keep
+	// working while disconnected (the paper's local storage service).
+	Local kvstore.Store
+	// Timeout bounds each HTTP request. 0 means 10 seconds.
+	Timeout time.Duration
+}
+
+// pendingWrite is one write queued while offline.
+type pendingWrite struct {
+	key    string
+	value  []byte // encoded (post-codec) value; nil means delete
+	seq    int64
+	delete bool
+}
+
+// Client is the enhanced data store client. It is safe for concurrent use.
+type Client struct {
+	cfg  ClientConfig
+	http *http.Client
+	cdc  codec.Codec
+
+	memcache *cache.Memory[[]byte]
+
+	mu      sync.Mutex
+	offline bool
+	pending []pendingWrite
+	seq     int64
+
+	stats struct {
+		remoteGets, remotePuts, cacheHits, offlineWrites, syncedWrites, bytesSent int64
+	}
+}
+
+// NewClient returns an enhanced client for the store at cfg.BaseURL.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	cdc := cfg.Codec
+	if cdc == nil {
+		cdc = codec.Identity{}
+	}
+	c := &Client{
+		cfg:  cfg,
+		http: &http.Client{Timeout: cfg.Timeout},
+		cdc:  cdc,
+	}
+	if cfg.CacheSize > 0 {
+		c.memcache = cache.NewMemory[[]byte](cfg.CacheSize, cache.WithTTL[[]byte](cfg.CacheTTL))
+	}
+	return c
+}
+
+// SetOffline switches the client into (or out of) offline mode. Going
+// offline is also automatic when a request fails at the transport level.
+// Coming back online does NOT sync automatically; call Sync.
+func (c *Client) SetOffline(offline bool) {
+	c.mu.Lock()
+	c.offline = offline
+	c.mu.Unlock()
+}
+
+// Offline reports the current mode.
+func (c *Client) Offline() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.offline
+}
+
+// Stats returns a snapshot of activity counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		RemoteGets:    c.stats.remoteGets,
+		RemotePuts:    c.stats.remotePuts,
+		CacheHits:     c.stats.cacheHits,
+		OfflineWrites: c.stats.offlineWrites,
+		SyncedWrites:  c.stats.syncedWrites,
+		BytesSent:     c.stats.bytesSent,
+	}
+}
+
+// PendingWrites returns how many writes await synchronization.
+func (c *Client) PendingWrites() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Put stores value under key: encoded via the codec, mirrored to local
+// storage, cached, and sent to the remote store — or queued if offline.
+func (c *Client) Put(key string, value []byte) error {
+	encoded, err := c.cdc.Encode(value)
+	if err != nil {
+		return fmt.Errorf("remotestore: encode: %w", err)
+	}
+	if c.cfg.Local != nil {
+		if err := c.cfg.Local.Put(key, encoded); err != nil {
+			return fmt.Errorf("remotestore: local mirror: %w", err)
+		}
+	}
+	if c.memcache != nil {
+		cp := make([]byte, len(value))
+		copy(cp, value)
+		c.memcache.Set(key, cp)
+	}
+	if c.Offline() {
+		c.queueWrite(key, encoded, false)
+		return nil
+	}
+	if err := c.remotePut(key, encoded); err != nil {
+		if isTransport(err) {
+			c.SetOffline(true)
+			c.queueWrite(key, encoded, false)
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// Get returns the value for key: from the client cache, then the remote
+// store, then (offline) the local mirror.
+func (c *Client) Get(key string) ([]byte, error) {
+	if c.memcache != nil {
+		if v, err := c.memcache.Get(key); err == nil {
+			c.mu.Lock()
+			c.stats.cacheHits++
+			c.mu.Unlock()
+			out := make([]byte, len(v))
+			copy(out, v)
+			return out, nil
+		}
+	}
+	if !c.Offline() {
+		encoded, err := c.remoteGet(key)
+		switch {
+		case err == nil:
+			value, err := c.cdc.Decode(encoded)
+			if err != nil {
+				return nil, fmt.Errorf("remotestore: decode: %w", err)
+			}
+			if c.memcache != nil {
+				cp := make([]byte, len(value))
+				copy(cp, value)
+				c.memcache.Set(key, cp)
+			}
+			return value, nil
+		case errors.Is(err, ErrNotFound):
+			return nil, err
+		case isTransport(err):
+			c.SetOffline(true)
+		default:
+			return nil, err
+		}
+	}
+	// Offline fallback: the local mirror.
+	if c.cfg.Local != nil {
+		encoded, err := c.cfg.Local.Get(key)
+		if err == nil {
+			value, err := c.cdc.Decode(encoded)
+			if err != nil {
+				return nil, fmt.Errorf("remotestore: decode local: %w", err)
+			}
+			return value, nil
+		}
+		if errors.Is(err, kvstore.ErrNotFound) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+		}
+		return nil, err
+	}
+	return nil, ErrOffline
+}
+
+// Delete removes key remotely (or queues the delete while offline) and
+// drops it from the cache and local mirror.
+func (c *Client) Delete(key string) error {
+	if c.memcache != nil {
+		c.memcache.Delete(key)
+	}
+	if c.cfg.Local != nil {
+		if err := c.cfg.Local.Delete(key); err != nil {
+			return fmt.Errorf("remotestore: local delete: %w", err)
+		}
+	}
+	if c.Offline() {
+		c.queueWrite(key, nil, true)
+		return nil
+	}
+	if err := c.remoteDelete(key); err != nil {
+		if isTransport(err) {
+			c.SetOffline(true)
+			c.queueWrite(key, nil, true)
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// Sync marks the client online and flushes queued writes in sequence
+// order, collapsing superseded writes to the same key (last writer wins).
+// It returns how many operations were pushed.
+func (c *Client) Sync() (int, error) {
+	c.mu.Lock()
+	c.offline = false
+	pending := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	if len(pending) == 0 {
+		return 0, nil
+	}
+	// Last write per key wins.
+	latest := make(map[string]pendingWrite, len(pending))
+	for _, w := range pending {
+		cur, ok := latest[w.key]
+		if !ok || w.seq > cur.seq {
+			latest[w.key] = w
+		}
+	}
+	ordered := make([]pendingWrite, 0, len(latest))
+	for _, w := range latest {
+		ordered = append(ordered, w)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].seq < ordered[j].seq })
+	pushed := 0
+	for i, w := range ordered {
+		var err error
+		if w.delete {
+			err = c.remoteDelete(w.key)
+		} else {
+			err = c.remotePut(w.key, w.value)
+		}
+		if err != nil {
+			// Requeue what has not been pushed and go back offline.
+			c.mu.Lock()
+			c.offline = true
+			c.pending = append(ordered[i:], c.pending...)
+			c.mu.Unlock()
+			return pushed, fmt.Errorf("remotestore: sync interrupted: %w", err)
+		}
+		pushed++
+		c.mu.Lock()
+		c.stats.syncedWrites++
+		c.mu.Unlock()
+	}
+	return pushed, nil
+}
+
+// Keys lists the remote store's keys (requires connectivity).
+func (c *Client) Keys() ([]string, error) {
+	if c.Offline() {
+		if c.cfg.Local != nil {
+			return c.cfg.Local.Keys()
+		}
+		return nil, ErrOffline
+	}
+	resp, err := c.http.Get(c.cfg.BaseURL + "/keys")
+	if err != nil {
+		c.SetOffline(true)
+		if c.cfg.Local != nil {
+			return c.cfg.Local.Keys()
+		}
+		return nil, fmt.Errorf("remotestore: %w: %v", ErrOffline, err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, &remoteError{status: resp.StatusCode, msg: "keys"}
+	}
+	var keys []string
+	if err := jsonDecode(resp.Body, &keys); err != nil {
+		return nil, err
+	}
+	return keys, nil
+}
+
+func (c *Client) queueWrite(key string, encoded []byte, del bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	c.pending = append(c.pending, pendingWrite{key: key, value: encoded, seq: c.seq, delete: del})
+	c.stats.offlineWrites++
+}
+
+func (c *Client) remotePut(key string, encoded []byte) error {
+	req, err := http.NewRequest(http.MethodPut, c.cfg.BaseURL+"/kv/"+key, bytes.NewReader(encoded))
+	if err != nil {
+		return fmt.Errorf("remotestore: build put: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return &transportError{err}
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusNoContent {
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			return &transportError{&remoteError{status: resp.StatusCode, msg: "put"}}
+		}
+		return &remoteError{status: resp.StatusCode, msg: "put"}
+	}
+	c.mu.Lock()
+	c.stats.remotePuts++
+	c.stats.bytesSent += int64(len(encoded))
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *Client) remoteGet(key string) ([]byte, error) {
+	resp, err := c.http.Get(c.cfg.BaseURL + "/kv/" + key)
+	if err != nil {
+		return nil, &transportError{err}
+	}
+	defer drain(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	case http.StatusServiceUnavailable:
+		return nil, &transportError{&remoteError{status: resp.StatusCode, msg: "get"}}
+	default:
+		return nil, &remoteError{status: resp.StatusCode, msg: "get"}
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("remotestore: read body: %w", err)
+	}
+	c.mu.Lock()
+	c.stats.remoteGets++
+	c.mu.Unlock()
+	return data, nil
+}
+
+func (c *Client) remoteDelete(key string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.cfg.BaseURL+"/kv/"+key, nil)
+	if err != nil {
+		return fmt.Errorf("remotestore: build delete: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return &transportError{err}
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusNoContent {
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			return &transportError{&remoteError{status: resp.StatusCode, msg: "delete"}}
+		}
+		return &remoteError{status: resp.StatusCode, msg: "delete"}
+	}
+	return nil
+}
+
+// transportError marks failures that indicate lost connectivity (as opposed
+// to application errors like 404).
+type transportError struct{ err error }
+
+func (t *transportError) Error() string { return "remotestore: transport: " + t.err.Error() }
+func (t *transportError) Unwrap() error { return t.err }
+
+func isTransport(err error) bool {
+	var te *transportError
+	return errors.As(err, &te)
+}
+
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+}
+
+func jsonDecode(r io.Reader, v any) error {
+	if err := json.NewDecoder(io.LimitReader(r, 16<<20)).Decode(v); err != nil {
+		return fmt.Errorf("remotestore: decode: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package remotestore
+
+import (
+	"bytes"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/kvstore"
+)
+
+func newPair(t *testing.T, cfg ClientConfig) (*Server, *Client, *httptest.Server) {
+	t.Helper()
+	srv := NewServer(nil)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	cfg.BaseURL = hs.URL
+	return srv, NewClient(cfg), hs
+}
+
+func TestPutGetDeleteRoundTrip(t *testing.T) {
+	_, c, _ := newPair(t, ClientConfig{})
+	if err := c.Put("k1", []byte("value one")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get("k1")
+	if err != nil || string(v) != "value one" {
+		t.Errorf("Get = (%q, %v)", v, err)
+	}
+	if err := c.Delete("k1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("k1"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("after delete Get = %v, want ErrNotFound", err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	_, c, _ := newPair(t, ClientConfig{})
+	if _, err := c.Get("never"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("error = %v, want ErrNotFound", err)
+	}
+}
+
+func TestKeys(t *testing.T) {
+	_, c, _ := newPair(t, ClientConfig{})
+	for _, k := range []string{"b", "a", "c"} {
+		if err := c.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := c.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 3 || keys[0] != "a" {
+		t.Errorf("Keys = %v", keys)
+	}
+}
+
+func TestClientCacheAvoidsRemoteGets(t *testing.T) {
+	srv, c, _ := newPair(t, ClientConfig{CacheSize: 16})
+	if err := c.Put("hot", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	before := srv.Requests()
+	for i := 0; i < 10; i++ {
+		if _, err := c.Get("hot"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Requests() != before {
+		t.Errorf("remote requests grew by %d, want 0 (cache)", srv.Requests()-before)
+	}
+	if st := c.Stats(); st.CacheHits != 10 {
+		t.Errorf("CacheHits = %d, want 10", st.CacheHits)
+	}
+}
+
+func TestEncryptionHidesPlaintextFromServer(t *testing.T) {
+	enc, err := codec.NewAESGCM("kb secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	backing := kvstore.NewMemory()
+	srv := NewServer(backing)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	c := NewClient(ClientConfig{BaseURL: hs.URL, Codec: enc})
+	secret := []byte("very confidential fact")
+	if err := c.Put("s", secret); err != nil {
+		t.Fatal(err)
+	}
+	stored, err := backing.Get("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(stored, secret) {
+		t.Error("plaintext visible to the remote store")
+	}
+	got, err := c.Get("s")
+	if err != nil || !bytes.Equal(got, secret) {
+		t.Errorf("round trip = (%q, %v)", got, err)
+	}
+}
+
+func TestCompressionReducesBytesSent(t *testing.T) {
+	srvPlain, cPlain, _ := newPair(t, ClientConfig{})
+	srvGz, cGz, _ := newPair(t, ClientConfig{Codec: codec.Gzip{}})
+	payload := []byte(strings.Repeat("compressible knowledge base text. ", 200))
+	if err := cPlain.Put("k", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := cGz.Put("k", payload); err != nil {
+		t.Fatal(err)
+	}
+	if srvGz.BytesIn() >= srvPlain.BytesIn()/2 {
+		t.Errorf("gzip sent %d bytes vs %d plain — no real saving", srvGz.BytesIn(), srvPlain.BytesIn())
+	}
+	got, err := cGz.Get("k")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Errorf("round trip failed: %v", err)
+	}
+}
+
+func TestOfflineWritesQueueAndSync(t *testing.T) {
+	srv, c, _ := newPair(t, ClientConfig{Local: kvstore.NewMemory()})
+	c.SetOffline(true)
+	for i, kv := range [][2]string{{"a", "1"}, {"b", "2"}, {"a", "3"}} {
+		if err := c.Put(kv[0], []byte(kv[1])); err != nil {
+			t.Fatalf("offline put %d: %v", i, err)
+		}
+	}
+	if got := c.PendingWrites(); got != 3 {
+		t.Errorf("PendingWrites = %d, want 3", got)
+	}
+	if srv.Requests() != 0 {
+		t.Errorf("server saw %d requests while offline", srv.Requests())
+	}
+	// Reads keep working from the local mirror.
+	v, err := c.Get("a")
+	if err != nil || string(v) != "3" {
+		t.Errorf("offline Get = (%q, %v)", v, err)
+	}
+	pushed, err := c.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last-writer-wins collapses the two writes to "a".
+	if pushed != 2 {
+		t.Errorf("pushed = %d, want 2", pushed)
+	}
+	if c.PendingWrites() != 0 {
+		t.Errorf("pending after sync = %d", c.PendingWrites())
+	}
+	// Remote now has the final values.
+	c2 := NewClient(ClientConfig{BaseURL: c.cfg.BaseURL})
+	v, err = c2.Get("a")
+	if err != nil || string(v) != "3" {
+		t.Errorf("post-sync Get(a) = (%q, %v)", v, err)
+	}
+	v, err = c2.Get("b")
+	if err != nil || string(v) != "2" {
+		t.Errorf("post-sync Get(b) = (%q, %v)", v, err)
+	}
+}
+
+func TestOfflineDeleteSyncs(t *testing.T) {
+	_, c, _ := newPair(t, ClientConfig{Local: kvstore.NewMemory()})
+	if err := c.Put("gone", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetOffline(true)
+	if err := c.Delete("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("gone"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deleted key survives sync: %v", err)
+	}
+}
+
+func TestAutoOfflineOnOutage(t *testing.T) {
+	srv, c, _ := newPair(t, ClientConfig{Local: kvstore.NewMemory()})
+	srv.SetDown(true)
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatalf("Put during outage should queue, got %v", err)
+	}
+	if !c.Offline() {
+		t.Error("client did not switch to offline on outage")
+	}
+	if c.PendingWrites() != 1 {
+		t.Errorf("PendingWrites = %d", c.PendingWrites())
+	}
+	srv.SetDown(false)
+	pushed, err := c.Sync()
+	if err != nil || pushed != 1 {
+		t.Errorf("Sync = (%d, %v)", pushed, err)
+	}
+	v, err := c.Get("k")
+	if err != nil || string(v) != "v" {
+		t.Errorf("post-recovery Get = (%q, %v)", v, err)
+	}
+}
+
+func TestSyncInterruptedRequeues(t *testing.T) {
+	srv, c, _ := newPair(t, ClientConfig{Local: kvstore.NewMemory()})
+	c.SetOffline(true)
+	if err := c.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetDown(true)
+	if _, err := c.Sync(); err == nil {
+		t.Fatal("Sync during outage should fail")
+	}
+	if !c.Offline() {
+		t.Error("client should return to offline after failed sync")
+	}
+	if c.PendingWrites() != 1 {
+		t.Errorf("write lost: pending = %d", c.PendingWrites())
+	}
+	srv.SetDown(false)
+	if pushed, err := c.Sync(); err != nil || pushed != 1 {
+		t.Errorf("retry Sync = (%d, %v)", pushed, err)
+	}
+}
+
+func TestServerLatencyInjection(t *testing.T) {
+	srv, c, _ := newPair(t, ClientConfig{})
+	srv.SetLatency(30 * time.Millisecond)
+	start := time.Now()
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("elapsed = %v, latency not applied", elapsed)
+	}
+}
+
+func TestLocalMirrorFasterPathExists(t *testing.T) {
+	// With a local mirror and the client offline, reads are served with
+	// zero remote requests — the paper's local storage-during-
+	// disconnection story.
+	srv, c, _ := newPair(t, ClientConfig{Local: kvstore.NewMemory()})
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetOffline(true)
+	before := srv.Requests()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Get("k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Requests() != before {
+		t.Error("offline reads hit the remote store")
+	}
+}
+
+func TestOfflineNoFallbackErrors(t *testing.T) {
+	_, c, _ := newPair(t, ClientConfig{})
+	c.SetOffline(true)
+	if _, err := c.Get("k"); !errors.Is(err, ErrOffline) {
+		t.Errorf("error = %v, want ErrOffline", err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package remotestore implements the cloud data store substrate and the
+// paper's "enhanced data store client" ([11] in the paper): a key-value
+// store served over HTTP with injectable latency and outages, and a client
+// adding client-side caching, encryption, compression, offline write-back,
+// and reconnection synchronization (paper §3: "when the personalized
+// knowledge base becomes disconnected from a cloud data store ... it may be
+// appropriate to synchronize the contents of local storage and the cloud
+// data store after connectivity ... is re-established").
+package remotestore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kvstore"
+)
+
+// Server is a simulated cloud key-value store:
+//
+//	PUT    /kv/{key}   body -> 204
+//	GET    /kv/{key}   -> 200 body | 404
+//	DELETE /kv/{key}   -> 204
+//	GET    /keys       -> JSON array of keys
+//
+// Latency and outages are injectable so experiments can script remote
+// conditions.
+type Server struct {
+	store kvstore.Store
+
+	mu      sync.RWMutex
+	latency time.Duration
+	down    bool
+
+	requests atomic.Int64
+	bytesIn  atomic.Int64
+}
+
+// NewServer wraps store as a cloud store. A nil store gets a fresh
+// in-memory one.
+func NewServer(store kvstore.Store) *Server {
+	if store == nil {
+		store = kvstore.NewMemory()
+	}
+	return &Server{store: store}
+}
+
+// SetLatency injects a fixed service-side latency per request.
+func (s *Server) SetLatency(d time.Duration) {
+	s.mu.Lock()
+	s.latency = d
+	s.mu.Unlock()
+}
+
+// SetDown scripts an outage: while down every request returns 503.
+func (s *Server) SetDown(down bool) {
+	s.mu.Lock()
+	s.down = down
+	s.mu.Unlock()
+}
+
+// Requests returns how many requests the server has handled.
+func (s *Server) Requests() int64 { return s.requests.Load() }
+
+// BytesIn returns the total payload bytes received, the quantity cloud
+// stores meter for network and storage charges.
+func (s *Server) BytesIn() int64 { return s.bytesIn.Load() }
+
+// Handler returns the server's http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	wrap := func(fn http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			s.requests.Add(1)
+			s.mu.RLock()
+			lat, down := s.latency, s.down
+			s.mu.RUnlock()
+			if lat > 0 {
+				time.Sleep(lat)
+			}
+			if down {
+				http.Error(w, "store unavailable", http.StatusServiceUnavailable)
+				return
+			}
+			fn(w, r)
+		}
+	}
+	mux.HandleFunc("PUT /kv/{key}", wrap(func(w http.ResponseWriter, r *http.Request) {
+		data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.bytesIn.Add(int64(len(data)))
+		if err := s.store.Put(r.PathValue("key"), data); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	mux.HandleFunc("GET /kv/{key}", wrap(func(w http.ResponseWriter, r *http.Request) {
+		data, err := s.store.Get(r.PathValue("key"))
+		if err != nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(data)
+	}))
+	mux.HandleFunc("DELETE /kv/{key}", wrap(func(w http.ResponseWriter, r *http.Request) {
+		if err := s.store.Delete(r.PathValue("key")); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	mux.HandleFunc("GET /keys", wrap(func(w http.ResponseWriter, r *http.Request) {
+		keys, err := s.store.Keys()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(keys); err != nil {
+			// Header already written; nothing more to do.
+			_ = err
+		}
+	}))
+	return mux
+}
+
+// ErrRemote classifies remote failures for the client.
+type remoteError struct {
+	status int
+	msg    string
+}
+
+func (e *remoteError) Error() string {
+	return fmt.Sprintf("remotestore: HTTP %d: %s", e.status, e.msg)
+}

@@ -1,0 +1,56 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/webcorpus"
+)
+
+func benchIndex(b *testing.B) *Index {
+	b.Helper()
+	return BuildIndex(webcorpus.Generate(webcorpus.Config{Seed: 4, NumDocs: 1000}))
+}
+
+func BenchmarkBuildIndex1k(b *testing.B) {
+	corpus := webcorpus.Generate(webcorpus.Config{Seed: 4, NumDocs: 1000})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if idx := BuildIndex(corpus); idx == nil {
+			b.Fatal("nil index")
+		}
+	}
+}
+
+func BenchmarkSearchBM25(b *testing.B) {
+	idx := benchIndex(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := idx.Search("market technology growth investment", TuningG, Options{Limit: 10}); len(got) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkSearchTFIDF(b *testing.B) {
+	idx := benchIndex(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := idx.Search("market technology growth investment", TuningB, Options{Limit: 10}); len(got) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkSearchNewsOnly(b *testing.B) {
+	idx := benchIndex(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := idx.Search("market", TuningG, Options{Limit: 10, NewsOnly: true}); len(got) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package search
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"repro/internal/service"
+)
+
+// Engine is one search-engine profile over a shared index. Distinct tunings
+// produce distinct rankings, giving the SDK genuinely different services to
+// choose among (the paper lets users pick Google, Bing, or Yahoo).
+type Engine struct {
+	name   string
+	index  *Index
+	params Params
+}
+
+// Stock engine tunings.
+var (
+	// TuningG approximates a modern BM25 web ranker with title boost.
+	TuningG = Params{Scoring: BM25, K1: 1.2, B: 0.75, TitleBoost: 2}
+	// TuningB is a TF-IDF ranker with mild title boost.
+	TuningB = Params{Scoring: TFIDF, TitleBoost: 1.5}
+	// TuningY is BM25 with heavier saturation and no title boost.
+	TuningY = Params{Scoring: BM25, K1: 2.0, B: 0.5}
+)
+
+// NewEngine returns a named engine over idx with the given tuning.
+func NewEngine(name string, idx *Index, params Params) *Engine {
+	return &Engine{name: name, index: idx, params: params}
+}
+
+// Name returns the engine name.
+func (e *Engine) Name() string { return e.name }
+
+// Search runs a query with this engine's tuning.
+func (e *Engine) Search(query string, opts Options) []Result {
+	return e.index.Search(query, e.params, opts)
+}
+
+// Results is the JSON body returned by the search service.
+type Results struct {
+	Engine  string   `json:"engine"`
+	Query   string   `json:"query"`
+	Results []Result `json:"results"`
+}
+
+// DecodeResults parses a search service response.
+func DecodeResults(resp service.Response) (Results, error) {
+	var r Results
+	if err := json.Unmarshal(resp.Body, &r); err != nil {
+		return Results{}, fmt.Errorf("search: decode results: %w", err)
+	}
+	return r, nil
+}
+
+// Service wraps the engine as a service.Service understanding op "search"
+// with Query set; Params may carry "limit" (int) and "news" ("true").
+func (e *Engine) Service(info service.Info) service.Service {
+	return service.Func{
+		Meta: info,
+		Fn: func(_ context.Context, req service.Request) (service.Response, error) {
+			if req.Op != "search" && req.Op != "" {
+				return service.Response{}, fmt.Errorf("search: unsupported op %q: %w", req.Op, service.ErrBadRequest)
+			}
+			if req.Query == "" {
+				return service.Response{}, fmt.Errorf("search: empty query: %w", service.ErrBadRequest)
+			}
+			var opts Options
+			if v := req.Params["limit"]; v != "" {
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return service.Response{}, fmt.Errorf("search: bad limit %q: %w", v, service.ErrBadRequest)
+				}
+				opts.Limit = n
+			}
+			if req.Params["news"] == "true" {
+				opts.NewsOnly = true
+			}
+			body, err := json.Marshal(Results{
+				Engine:  e.name,
+				Query:   req.Query,
+				Results: e.Search(req.Query, opts),
+			})
+			if err != nil {
+				return service.Response{}, fmt.Errorf("search: encode results: %w", err)
+			}
+			return service.Response{Body: body, ContentType: "application/json"}, nil
+		},
+	}
+}

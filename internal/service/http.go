@@ -1,0 +1,138 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Cloud services expose HTTP interfaces and return JSON (paper §1); the SDK
+// encapsulates those HTTP calls in method calls. Handler and HTTPClient are
+// the two halves: Handler exposes any Service over HTTP, HTTPClient makes a
+// remote HTTP endpoint look like a local Service.
+
+// invokeEnvelope is the wire format for an invocation error.
+type errorEnvelope struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"` // "unavailable", "quota", "bad_request"
+}
+
+// Handler returns an http.Handler that serves svc:
+//
+//	POST /invoke  body: Request JSON  ->  200 Response JSON
+//	GET  /info                        ->  200 Info JSON
+//
+// Transient errors map to 503, quota errors to 429, bad requests to 400.
+func Handler(svc Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/info", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Info())
+	})
+	mux.HandleFunc("/invoke", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errorEnvelope{Error: "use POST"})
+			return
+		}
+		var req Request
+		if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorEnvelope{Error: "decode request: " + err.Error(), Kind: "bad_request"})
+			return
+		}
+		resp, err := svc.Invoke(r.Context(), req)
+		if err != nil {
+			status, kind := http.StatusInternalServerError, ""
+			switch {
+			case errors.Is(err, ErrUnavailable):
+				status, kind = http.StatusServiceUnavailable, "unavailable"
+			case errors.Is(err, ErrQuotaExceeded):
+				status, kind = http.StatusTooManyRequests, "quota"
+			case errors.Is(err, ErrBadRequest):
+				status, kind = http.StatusBadRequest, "bad_request"
+			}
+			writeJSON(w, status, errorEnvelope{Error: err.Error(), Kind: kind})
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors after the header is written cannot be reported to
+	// the client; the connection error surfaces on their side.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// HTTPClient presents a remote service endpoint as a local Service. It is
+// safe for concurrent use.
+type HTTPClient struct {
+	info    Info
+	baseURL string
+	client  *http.Client
+}
+
+var _ Service = (*HTTPClient)(nil)
+
+// NewHTTPClient returns a client for the service at baseURL (for example
+// "http://host:port"). info describes the remote service locally; timeout
+// bounds each invocation (0 means no timeout).
+func NewHTTPClient(info Info, baseURL string, timeout time.Duration) *HTTPClient {
+	return &HTTPClient{
+		info:    info,
+		baseURL: baseURL,
+		client:  &http.Client{Timeout: timeout},
+	}
+}
+
+// Info implements Service.
+func (c *HTTPClient) Info() Info { return c.info }
+
+// Invoke implements Service by POSTing the request to the remote endpoint.
+// HTTP 503 and transport errors map to ErrUnavailable so retry logic
+// treats remote outages as transient; 429 maps to ErrQuotaExceeded.
+func (c *HTTPClient) Invoke(ctx context.Context, req Request) (Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return Response{}, fmt.Errorf("service: encode request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/invoke", bytes.NewReader(body))
+	if err != nil {
+		return Response{}, fmt.Errorf("service: build request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.client.Do(hreq)
+	if err != nil {
+		return Response{}, fmt.Errorf("service: %s: %w: %v", c.info.Name, ErrUnavailable, err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, hresp.Body)
+		_ = hresp.Body.Close()
+	}()
+	if hresp.StatusCode != http.StatusOK {
+		var env errorEnvelope
+		_ = json.NewDecoder(io.LimitReader(hresp.Body, 1<<20)).Decode(&env)
+		base := fmt.Errorf("service: %s: HTTP %d: %s", c.info.Name, hresp.StatusCode, env.Error)
+		switch hresp.StatusCode {
+		case http.StatusServiceUnavailable, http.StatusBadGateway, http.StatusGatewayTimeout:
+			return Response{}, fmt.Errorf("%w: %w", ErrUnavailable, base)
+		case http.StatusTooManyRequests:
+			return Response{}, fmt.Errorf("%w: %w", ErrQuotaExceeded, base)
+		case http.StatusBadRequest:
+			return Response{}, fmt.Errorf("%w: %w", ErrBadRequest, base)
+		default:
+			return Response{}, base
+		}
+	}
+	var resp Response
+	if err := json.NewDecoder(io.LimitReader(hresp.Body, 64<<20)).Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("service: decode response: %w", err)
+	}
+	return resp, nil
+}

@@ -1,0 +1,158 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestHandlerAndClientRoundTrip(t *testing.T) {
+	backend := Func{
+		Meta: Info{Name: "upper", Category: "transform"},
+		Fn: func(_ context.Context, req Request) (Response, error) {
+			return Response{
+				Body:        []byte(req.Text + req.Text),
+				ContentType: "text/plain",
+				Meta:        map[string]string{"len": "2x"},
+			}, nil
+		},
+	}
+	srv := httptest.NewServer(Handler(backend))
+	defer srv.Close()
+
+	client := NewHTTPClient(Info{Name: "upper-remote", Category: "transform"}, srv.URL, 5*time.Second)
+	resp, err := client.Invoke(context.Background(), Request{Op: "double", Text: "ab"})
+	if err != nil {
+		t.Fatalf("Invoke error = %v", err)
+	}
+	if string(resp.Body) != "abab" || resp.ContentType != "text/plain" || resp.Meta["len"] != "2x" {
+		t.Errorf("response = %+v", resp)
+	}
+}
+
+func TestHandlerInfoEndpoint(t *testing.T) {
+	backend := echoService("svc-x", "cat-y")
+	srv := httptest.NewServer(Handler(backend))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestHandlerRejectsGetInvoke(t *testing.T) {
+	srv := httptest.NewServer(Handler(echoService("e", "c")))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/invoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestClientMapsErrorKinds(t *testing.T) {
+	tests := []struct {
+		name    string
+		backend error
+		want    error
+	}{
+		{"unavailable", ErrUnavailable, ErrUnavailable},
+		{"quota", ErrQuotaExceeded, ErrQuotaExceeded},
+		{"bad request", ErrBadRequest, ErrBadRequest},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			backend := Func{
+				Meta: Info{Name: "failing", Category: "c"},
+				Fn: func(context.Context, Request) (Response, error) {
+					return Response{}, fmt.Errorf("wrapped: %w", tt.backend)
+				},
+			}
+			srv := httptest.NewServer(Handler(backend))
+			defer srv.Close()
+			client := NewHTTPClient(Info{Name: "failing", Category: "c"}, srv.URL, time.Second)
+			_, err := client.Invoke(context.Background(), Request{})
+			if !errors.Is(err, tt.want) {
+				t.Errorf("error = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestClientInternalErrorNotTransient(t *testing.T) {
+	backend := Func{
+		Meta: Info{Name: "broken", Category: "c"},
+		Fn: func(context.Context, Request) (Response, error) {
+			return Response{}, errors.New("some internal bug")
+		},
+	}
+	srv := httptest.NewServer(Handler(backend))
+	defer srv.Close()
+	client := NewHTTPClient(Info{Name: "broken", Category: "c"}, srv.URL, time.Second)
+	_, err := client.Invoke(context.Background(), Request{})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if errors.Is(err, ErrUnavailable) {
+		t.Error("500 must not look transient")
+	}
+}
+
+func TestClientConnectionRefusedIsUnavailable(t *testing.T) {
+	client := NewHTTPClient(Info{Name: "gone", Category: "c"}, "http://127.0.0.1:1", 500*time.Millisecond)
+	_, err := client.Invoke(context.Background(), Request{})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Errorf("error = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestClientContextCancellation(t *testing.T) {
+	slow := Func{
+		Meta: Info{Name: "slow", Category: "c"},
+		Fn: func(ctx context.Context, _ Request) (Response, error) {
+			select {
+			case <-ctx.Done():
+				return Response{}, ctx.Err()
+			case <-time.After(10 * time.Second):
+				return Response{}, nil
+			}
+		},
+	}
+	srv := httptest.NewServer(Handler(slow))
+	defer srv.Close()
+	client := NewHTTPClient(Info{Name: "slow", Category: "c"}, srv.URL, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.Invoke(ctx, Request{})
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancellation did not take effect promptly")
+	}
+}
+
+func TestHandlerMalformedBody(t *testing.T) {
+	srv := httptest.NewServer(Handler(echoService("e", "c")))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/invoke", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+}

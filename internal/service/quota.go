@@ -1,0 +1,60 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Quota enforces a maximum number of invocations per time period (paper
+// §2.2: "the client may have a limited quota of service invocations in a
+// time period ... There is thus an incentive to limit the number of service
+// invocations"). It is used both server-side by simulated services and
+// client-side by the SDK to avoid burning a limited allowance. Quota is
+// safe for concurrent use.
+type Quota struct {
+	mu        sync.Mutex
+	limit     int
+	period    time.Duration
+	clk       clock.Clock
+	used      int
+	windowEnd time.Time
+}
+
+// NewQuota returns a quota of limit invocations per period measured on clk.
+// A nil clk uses the real clock.
+func NewQuota(limit int, period time.Duration, clk clock.Clock) *Quota {
+	if clk == nil {
+		clk = clock.Real()
+	}
+	return &Quota{limit: limit, period: period, clk: clk}
+}
+
+// Take consumes one invocation if the quota allows it and reports whether
+// it did.
+func (q *Quota) Take() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.clk.Now()
+	if now.After(q.windowEnd) || q.windowEnd.IsZero() {
+		q.windowEnd = now.Add(q.period)
+		q.used = 0
+	}
+	if q.used >= q.limit {
+		return false
+	}
+	q.used++
+	return true
+}
+
+// Remaining returns how many invocations are left in the current period.
+func (q *Quota) Remaining() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.clk.Now()
+	if now.After(q.windowEnd) || q.windowEnd.IsZero() {
+		return q.limit
+	}
+	return q.limit - q.used
+}

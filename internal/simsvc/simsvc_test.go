@@ -1,0 +1,254 @@
+package simsvc
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/service"
+	"repro/internal/xrand"
+)
+
+func TestConstantLatencyModel(t *testing.T) {
+	m := Constant{D: 25 * time.Millisecond}
+	if got := m.Sample(service.Request{}, xrand.New(1)); got != 25*time.Millisecond {
+		t.Errorf("Sample = %v, want 25ms", got)
+	}
+}
+
+func TestLognormalLatencyModel(t *testing.T) {
+	m := Lognormal{Median: 40 * time.Millisecond, Sigma: 0.3}
+	src := xrand.New(1)
+	below := 0
+	n := 5000
+	for i := 0; i < n; i++ {
+		d := m.Sample(service.Request{}, src)
+		if d <= 0 {
+			t.Fatalf("non-positive latency %v", d)
+		}
+		if d < 40*time.Millisecond {
+			below++
+		}
+	}
+	frac := float64(below) / float64(n)
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("median check: %v below, want ~0.5", frac)
+	}
+}
+
+func TestSizeLinearModel(t *testing.T) {
+	m := SizeLinear{Base: 10 * time.Millisecond, PerKB: time.Millisecond}
+	small := service.Request{Data: make([]byte, 1024)}
+	large := service.Request{Data: make([]byte, 1024*100)}
+	src := xrand.New(1)
+	ds := m.Sample(small, src)
+	dl := m.Sample(large, src)
+	if ds != 11*time.Millisecond {
+		t.Errorf("small = %v, want 11ms", ds)
+	}
+	if dl != 110*time.Millisecond {
+		t.Errorf("large = %v, want 110ms", dl)
+	}
+}
+
+func TestSizeLinearJitterVariance(t *testing.T) {
+	m := SizeLinear{Base: 10 * time.Millisecond, PerKB: 0, Jitter: 0.3}
+	src := xrand.New(1)
+	a := m.Sample(service.Request{}, src)
+	b := m.Sample(service.Request{}, src)
+	if a == b {
+		t.Error("jittered samples identical")
+	}
+}
+
+func TestQuotaEnforcement(t *testing.T) {
+	v := clock.NewVirtual(time.Unix(0, 0))
+	q := service.NewQuota(3, time.Hour, v)
+	for i := 0; i < 3; i++ {
+		if !q.Take() {
+			t.Fatalf("Take %d failed within quota", i)
+		}
+	}
+	if q.Take() {
+		t.Error("Take beyond quota succeeded")
+	}
+	if q.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", q.Remaining())
+	}
+	// New period resets the quota.
+	v.Advance(2 * time.Hour)
+	if q.Remaining() != 3 {
+		t.Errorf("Remaining after period = %d, want 3", q.Remaining())
+	}
+	if !q.Take() {
+		t.Error("Take in new period failed")
+	}
+}
+
+func TestServiceHappyPath(t *testing.T) {
+	v := clock.NewVirtual(time.Unix(0, 0))
+	svc := New(Config{
+		Info:    service.Info{Name: "sim", Category: "test"},
+		Latency: Constant{D: 0},
+		Clock:   v,
+		Handler: func(_ context.Context, req service.Request) (service.Response, error) {
+			return service.Response{Body: []byte("ok:" + req.Text)}, nil
+		},
+	})
+	resp, err := svc.Invoke(context.Background(), service.Request{Text: "x"})
+	if err != nil || string(resp.Body) != "ok:x" {
+		t.Errorf("Invoke = (%q, %v)", resp.Body, err)
+	}
+	if svc.Invocations() != 1 {
+		t.Errorf("Invocations = %d, want 1", svc.Invocations())
+	}
+}
+
+func TestServiceLatencyOnVirtualClock(t *testing.T) {
+	v := clock.NewVirtual(time.Unix(0, 0))
+	svc := New(Config{
+		Info:    service.Info{Name: "sim", Category: "test"},
+		Latency: Constant{D: 50 * time.Millisecond},
+		Clock:   v,
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := svc.Invoke(context.Background(), service.Request{})
+		done <- err
+	}()
+	// The invocation must be blocked until virtual time advances.
+	select {
+	case <-done:
+		t.Fatal("invocation completed before latency elapsed")
+	case <-time.After(20 * time.Millisecond):
+	}
+	for v.Pending() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(50 * time.Millisecond)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Invoke error = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("invocation did not complete after Advance")
+	}
+}
+
+func TestServiceFailureInjectionRate(t *testing.T) {
+	svc := New(Config{
+		Info:     service.Info{Name: "flaky", Category: "test"},
+		FailRate: 0.3,
+		Seed:     7,
+	})
+	fails := 0
+	n := 2000
+	for i := 0; i < n; i++ {
+		if _, err := svc.Invoke(context.Background(), service.Request{}); err != nil {
+			if !errors.Is(err, service.ErrUnavailable) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			fails++
+		}
+	}
+	frac := float64(fails) / float64(n)
+	if frac < 0.25 || frac > 0.35 {
+		t.Errorf("failure rate = %v, want ~0.3", frac)
+	}
+}
+
+func TestServiceDeterministicUnderSeed(t *testing.T) {
+	mk := func() *Service {
+		return New(Config{Info: service.Info{Name: "d", Category: "t"}, FailRate: 0.5, Seed: 42})
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 100; i++ {
+		_, errA := a.Invoke(context.Background(), service.Request{})
+		_, errB := b.Invoke(context.Background(), service.Request{})
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("invocation %d diverged: %v vs %v", i, errA, errB)
+		}
+	}
+}
+
+func TestServiceDownToggle(t *testing.T) {
+	svc := New(Config{Info: service.Info{Name: "s", Category: "t"}})
+	if _, err := svc.Invoke(context.Background(), service.Request{}); err != nil {
+		t.Fatalf("up service failed: %v", err)
+	}
+	svc.SetDown(true)
+	if _, err := svc.Invoke(context.Background(), service.Request{}); !errors.Is(err, service.ErrUnavailable) {
+		t.Errorf("down service error = %v, want ErrUnavailable", err)
+	}
+	svc.SetDown(false)
+	if _, err := svc.Invoke(context.Background(), service.Request{}); err != nil {
+		t.Errorf("restored service failed: %v", err)
+	}
+}
+
+func TestServiceQuotaExceeded(t *testing.T) {
+	v := clock.NewVirtual(time.Unix(0, 0))
+	svc := New(Config{
+		Info:  service.Info{Name: "q", Category: "t"},
+		Quota: service.NewQuota(2, time.Hour, v),
+		Clock: v,
+	})
+	for i := 0; i < 2; i++ {
+		if _, err := svc.Invoke(context.Background(), service.Request{}); err != nil {
+			t.Fatalf("within quota: %v", err)
+		}
+	}
+	if _, err := svc.Invoke(context.Background(), service.Request{}); !errors.Is(err, service.ErrQuotaExceeded) {
+		t.Errorf("error = %v, want ErrQuotaExceeded", err)
+	}
+}
+
+func TestServiceHangRespectsContext(t *testing.T) {
+	svc := New(Config{
+		Info:         service.Info{Name: "hang", Category: "t"},
+		HangRate:     1,
+		HangDuration: time.Hour,
+		Seed:         1,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := svc.Invoke(ctx, service.Request{})
+	if !errors.Is(err, service.ErrUnavailable) {
+		t.Errorf("error = %v, want ErrUnavailable", err)
+	}
+	if !strings.Contains(err.Error(), "unresponsive") {
+		t.Errorf("error %q should mention unresponsiveness", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("hang did not respect context deadline")
+	}
+}
+
+func TestServiceContextCancelDuringLatency(t *testing.T) {
+	svc := New(Config{
+		Info:    service.Info{Name: "slow", Category: "t"},
+		Latency: Constant{D: time.Hour},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := svc.Invoke(ctx, service.Request{})
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestServiceNilHandlerEmptyResponse(t *testing.T) {
+	svc := New(Config{Info: service.Info{Name: "empty", Category: "t"}})
+	resp, err := svc.Invoke(context.Background(), service.Request{})
+	if err != nil || resp.Body != nil {
+		t.Errorf("Invoke = (%v, %v), want empty response", resp, err)
+	}
+}

@@ -1,0 +1,18 @@
+package spell_test
+
+import (
+	"fmt"
+
+	"repro/internal/lexicon"
+	"repro/internal/spell"
+)
+
+func ExampleChecker_Check() {
+	checker := spell.NewChecker(lexicon.Dictionary(), nil)
+	for _, c := range checker.Check("The markte in Germny improved.") {
+		fmt.Printf("%s -> %s\n", c.Word, c.Suggestion)
+	}
+	// Output:
+	// markte -> market
+	// Germny -> germany
+}

@@ -1,0 +1,252 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LinearModel is a fitted simple linear regression y = Intercept + Slope*x.
+type LinearModel struct {
+	Intercept float64
+	Slope     float64
+	R2        float64 // coefficient of determination on the training data
+	N         int
+}
+
+// FitLinear fits a least-squares line through (xs, ys). It returns an error
+// if the lengths differ, fewer than two points are supplied, or all x values
+// are identical.
+func FitLinear(xs, ys []float64) (LinearModel, error) {
+	if len(xs) != len(ys) {
+		return LinearModel{}, fmt.Errorf("stats: length mismatch %d != %d", len(xs), len(ys))
+	}
+	n := len(xs)
+	if n < 2 {
+		return LinearModel{}, fmt.Errorf("stats: need at least 2 points, got %d", n)
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return LinearModel{}, errors.New("stats: all x values identical")
+	}
+	m := LinearModel{Slope: sxy / sxx, N: n}
+	m.Intercept = my - m.Slope*mx
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := m.Intercept + m.Slope*xs[i]
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - my) * (ys[i] - my)
+	}
+	if ssTot > 0 {
+		m.R2 = 1 - ssRes/ssTot
+	} else {
+		m.R2 = 1
+	}
+	return m, nil
+}
+
+// Predict returns the model's estimate at x.
+func (m LinearModel) Predict(x float64) float64 {
+	return m.Intercept + m.Slope*x
+}
+
+// PolyModel is a fitted polynomial regression
+// y = Coef[0] + Coef[1]*x + ... + Coef[d]*x^d.
+type PolyModel struct {
+	Coef []float64
+	R2   float64
+	N    int
+}
+
+// FitPoly fits a degree-d polynomial by least squares using the normal
+// equations. degree must be >= 1 and len(xs) must exceed the degree.
+func FitPoly(xs, ys []float64, degree int) (PolyModel, error) {
+	if degree < 1 {
+		return PolyModel{}, fmt.Errorf("stats: degree %d < 1", degree)
+	}
+	if len(xs) != len(ys) {
+		return PolyModel{}, fmt.Errorf("stats: length mismatch %d != %d", len(xs), len(ys))
+	}
+	if len(xs) <= degree {
+		return PolyModel{}, fmt.Errorf("stats: need > %d points for degree %d, got %d", degree, degree, len(xs))
+	}
+	// Build the design matrix rows [1, x, x^2, ..., x^d].
+	rows := make([][]float64, len(xs))
+	for i, x := range xs {
+		row := make([]float64, degree+1)
+		v := 1.0
+		for j := 0; j <= degree; j++ {
+			row[j] = v
+			v *= x
+		}
+		rows[i] = row
+	}
+	coef, err := solveLeastSquares(rows, ys)
+	if err != nil {
+		return PolyModel{}, err
+	}
+	m := PolyModel{Coef: coef, N: len(xs)}
+	my := Mean(ys)
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := m.Predict(xs[i])
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - my) * (ys[i] - my)
+	}
+	if ssTot > 0 {
+		m.R2 = 1 - ssRes/ssTot
+	} else {
+		m.R2 = 1
+	}
+	return m, nil
+}
+
+// Predict evaluates the polynomial at x using Horner's rule.
+func (m PolyModel) Predict(x float64) float64 {
+	var y float64
+	for i := len(m.Coef) - 1; i >= 0; i-- {
+		y = y*x + m.Coef[i]
+	}
+	return y
+}
+
+// MultiModel is a fitted multiple linear regression
+// y = Coef[0] + Coef[1]*x1 + ... + Coef[k]*xk.
+type MultiModel struct {
+	Coef []float64
+	R2   float64
+	N    int
+}
+
+// FitMulti fits a multiple linear regression where each row of features is
+// one observation's predictor vector. All rows must have the same length k,
+// and at least k+1 observations are required.
+func FitMulti(features [][]float64, ys []float64) (MultiModel, error) {
+	if len(features) != len(ys) {
+		return MultiModel{}, fmt.Errorf("stats: length mismatch %d != %d", len(features), len(ys))
+	}
+	if len(features) == 0 {
+		return MultiModel{}, ErrEmpty
+	}
+	k := len(features[0])
+	if len(features) < k+1 {
+		return MultiModel{}, fmt.Errorf("stats: need >= %d observations for %d features, got %d", k+1, k, len(features))
+	}
+	rows := make([][]float64, len(features))
+	for i, f := range features {
+		if len(f) != k {
+			return MultiModel{}, fmt.Errorf("stats: row %d has %d features, want %d", i, len(f), k)
+		}
+		row := make([]float64, k+1)
+		row[0] = 1
+		copy(row[1:], f)
+		rows[i] = row
+	}
+	coef, err := solveLeastSquares(rows, ys)
+	if err != nil {
+		return MultiModel{}, err
+	}
+	m := MultiModel{Coef: coef, N: len(features)}
+	my := Mean(ys)
+	var ssRes, ssTot float64
+	for i := range features {
+		pred := m.Predict(features[i])
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - my) * (ys[i] - my)
+	}
+	if ssTot > 0 {
+		m.R2 = 1 - ssRes/ssTot
+	} else {
+		m.R2 = 1
+	}
+	return m, nil
+}
+
+// Predict returns the model's estimate for the feature vector x. Missing
+// trailing features are treated as zero; extra features are ignored.
+func (m MultiModel) Predict(x []float64) float64 {
+	y := m.Coef[0]
+	for i := 1; i < len(m.Coef); i++ {
+		if i-1 < len(x) {
+			y += m.Coef[i] * x[i-1]
+		}
+	}
+	return y
+}
+
+// solveLeastSquares solves min ||A c - y||^2 via the normal equations
+// (A^T A) c = A^T y with Gaussian elimination and partial pivoting.
+func solveLeastSquares(a [][]float64, y []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	k := len(a[0])
+	// ata = A^T A (k x k), aty = A^T y (k).
+	ata := make([][]float64, k)
+	for i := range ata {
+		ata[i] = make([]float64, k)
+	}
+	aty := make([]float64, k)
+	for r := 0; r < n; r++ {
+		row := a[r]
+		for i := 0; i < k; i++ {
+			aty[i] += row[i] * y[r]
+			for j := i; j < k; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < i; j++ {
+			ata[i][j] = ata[j][i]
+		}
+	}
+	return solveLinearSystem(ata, aty)
+}
+
+// solveLinearSystem solves M x = b in place with partial pivoting. M and b
+// are modified.
+func solveLinearSystem(m [][]float64, b []float64) ([]float64, error) {
+	k := len(m)
+	for col := 0; col < k; col++ {
+		// Partial pivot: pick the row with the largest magnitude in col.
+		pivot := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, errors.New("stats: singular design matrix")
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / m[col][col]
+		for r := col + 1; r < k; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < k; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, k)
+	for i := k - 1; i >= 0; i-- {
+		sum := b[i]
+		for j := i + 1; j < k; j++ {
+			sum -= m[i][j] * x[j]
+		}
+		x[i] = sum / m[i][i]
+	}
+	return x, nil
+}

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitLinearExact(t *testing.T) {
+	// y = 3 + 2x fitted exactly.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 2*x
+	}
+	m, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatalf("FitLinear error = %v", err)
+	}
+	if !almostEqual(m.Intercept, 3, 1e-9) || !almostEqual(m.Slope, 2, 1e-9) {
+		t.Errorf("model = %+v, want intercept 3 slope 2", m)
+	}
+	if !almostEqual(m.R2, 1, 1e-9) {
+		t.Errorf("R2 = %v, want 1", m.R2)
+	}
+	if got := m.Predict(10); !almostEqual(got, 23, 1e-9) {
+		t.Errorf("Predict(10) = %v, want 23", got)
+	}
+}
+
+func TestFitLinearNoisy(t *testing.T) {
+	// Noisy but strongly linear data should recover slope approximately.
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		x := float64(i)
+		noise := math.Sin(float64(i) * 12.9898) // deterministic pseudo-noise in [-1,1]
+		xs[i] = x
+		ys[i] = 5 + 0.5*x + noise
+	}
+	m, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatalf("FitLinear error = %v", err)
+	}
+	if math.Abs(m.Slope-0.5) > 0.05 {
+		t.Errorf("Slope = %v, want ~0.5", m.Slope)
+	}
+	if m.R2 < 0.95 {
+		t.Errorf("R2 = %v, want > 0.95", m.R2)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		ys   []float64
+	}{
+		{"mismatched", []float64{1, 2}, []float64{1}},
+		{"too few", []float64{1}, []float64{1}},
+		{"constant x", []float64{2, 2, 2}, []float64{1, 2, 3}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := FitLinear(tt.xs, tt.ys); err == nil {
+				t.Error("expected error, got nil")
+			}
+		})
+	}
+}
+
+func TestFitPolyExactQuadratic(t *testing.T) {
+	// y = 1 - 2x + 0.5x^2
+	xs := []float64{-2, -1, 0, 1, 2, 3}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 1 - 2*x + 0.5*x*x
+	}
+	m, err := FitPoly(xs, ys, 2)
+	if err != nil {
+		t.Fatalf("FitPoly error = %v", err)
+	}
+	want := []float64{1, -2, 0.5}
+	for i, w := range want {
+		if !almostEqual(m.Coef[i], w, 1e-8) {
+			t.Errorf("Coef[%d] = %v, want %v", i, m.Coef[i], w)
+		}
+	}
+	if got := m.Predict(5); !almostEqual(got, 1-10+12.5, 1e-8) {
+		t.Errorf("Predict(5) = %v, want 3.5", got)
+	}
+}
+
+func TestFitPolyErrors(t *testing.T) {
+	if _, err := FitPoly([]float64{1, 2}, []float64{1, 2}, 0); err == nil {
+		t.Error("degree 0 should error")
+	}
+	if _, err := FitPoly([]float64{1, 2}, []float64{1, 2}, 2); err == nil {
+		t.Error("too few points should error")
+	}
+	if _, err := FitPoly([]float64{1, 2, 3}, []float64{1, 2}, 1); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+}
+
+func TestFitMultiExact(t *testing.T) {
+	// y = 2 + 3a - b over a small grid.
+	var feats [][]float64
+	var ys []float64
+	for a := 0.0; a < 4; a++ {
+		for b := 0.0; b < 4; b++ {
+			feats = append(feats, []float64{a, b})
+			ys = append(ys, 2+3*a-b)
+		}
+	}
+	m, err := FitMulti(feats, ys)
+	if err != nil {
+		t.Fatalf("FitMulti error = %v", err)
+	}
+	want := []float64{2, 3, -1}
+	for i, w := range want {
+		if !almostEqual(m.Coef[i], w, 1e-8) {
+			t.Errorf("Coef[%d] = %v, want %v", i, m.Coef[i], w)
+		}
+	}
+	if got := m.Predict([]float64{10, 5}); !almostEqual(got, 27, 1e-7) {
+		t.Errorf("Predict = %v, want 27", got)
+	}
+}
+
+func TestFitMultiErrors(t *testing.T) {
+	if _, err := FitMulti(nil, nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := FitMulti([][]float64{{1, 2}}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, err := FitMulti([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows should error")
+	}
+	// Collinear features -> singular matrix.
+	feats := [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}}
+	ys := []float64{1, 2, 3, 4}
+	if _, err := FitMulti(feats, ys); err == nil {
+		t.Error("collinear features should error")
+	}
+}
+
+func TestSolveLinearSystemPivoting(t *testing.T) {
+	// A system that requires pivoting (zero on the diagonal initially).
+	m := [][]float64{
+		{0, 1},
+		{1, 0},
+	}
+	b := []float64{2, 3}
+	x, err := solveLinearSystem(m, b)
+	if err != nil {
+		t.Fatalf("solveLinearSystem error = %v", err)
+	}
+	if !almostEqual(x[0], 3, 1e-12) || !almostEqual(x[1], 2, 1e-12) {
+		t.Errorf("x = %v, want [3 2]", x)
+	}
+}

@@ -1,0 +1,112 @@
+package webcorpus
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+)
+
+// RenderHTML renders the document as a minimal HTML page.
+func RenderHTML(d Document) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n")
+	fmt.Fprintf(&b, "  <title>%s</title>\n", html.EscapeString(d.Title))
+	fmt.Fprintf(&b, "  <meta name=\"kind\" content=%q>\n", d.Kind)
+	fmt.Fprintf(&b, "  <meta name=\"published\" content=%q>\n", d.Published.Format("2006-01-02T15:04:05Z07:00"))
+	b.WriteString("</head>\n<body>\n")
+	fmt.Fprintf(&b, "  <h1>%s</h1>\n", html.EscapeString(d.Title))
+	for _, para := range splitParagraphs(d.Body) {
+		fmt.Fprintf(&b, "  <p>%s</p>\n", html.EscapeString(para))
+	}
+	b.WriteString("</body>\n</html>\n")
+	return b.String()
+}
+
+// splitParagraphs groups sentences into paragraphs of three.
+func splitParagraphs(body string) []string {
+	var paras []string
+	var cur []string
+	count := 0
+	for _, part := range strings.SplitAfter(body, ". ") {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		cur = append(cur, strings.TrimSpace(part))
+		count++
+		if count%3 == 0 {
+			paras = append(paras, strings.Join(cur, " "))
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		paras = append(paras, strings.Join(cur, " "))
+	}
+	return paras
+}
+
+// ExtractText strips HTML tags and collapses whitespace, recovering
+// analyzable plain text from a fetched page — the step between "fetch HTML
+// documents corresponding to URLs returned from a Web search" and "pass
+// them to natural language understanding services" (paper §2.2).
+func ExtractText(htmlSrc string) string {
+	var b strings.Builder
+	inTag := false
+	inScript := false
+	i := 0
+	lower := strings.ToLower(htmlSrc)
+	for i < len(htmlSrc) {
+		ch := htmlSrc[i]
+		if !inTag && ch == '<' {
+			if strings.HasPrefix(lower[i:], "<script") || strings.HasPrefix(lower[i:], "<style") {
+				inScript = true
+			}
+			if inScript && (strings.HasPrefix(lower[i:], "</script") || strings.HasPrefix(lower[i:], "</style")) {
+				inScript = false
+			}
+			inTag = true
+			i++
+			continue
+		}
+		if inTag {
+			if ch == '>' {
+				inTag = false
+				b.WriteByte(' ')
+			}
+			i++
+			continue
+		}
+		if inScript {
+			i++
+			continue
+		}
+		b.WriteByte(ch)
+		i++
+	}
+	text := html.UnescapeString(b.String())
+	return strings.Join(strings.Fields(text), " ")
+}
+
+// Handler serves the corpus over HTTP:
+//
+//	GET /docs/<id>   -> HTML page
+//	GET /index       -> newline-separated list of "id url"
+func (c *Corpus) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /docs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		d, ok := c.ByID(r.PathValue("id"))
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(RenderHTML(*d)))
+	})
+	mux.HandleFunc("GET /index", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, d := range c.Docs {
+			fmt.Fprintf(w, "%s %s\n", d.ID, d.URL)
+		}
+	})
+	return mux
+}
