@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test check bench fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-merge gate: vet everything, then the full suite under
+# the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# bench runs the experiment benchmarks (E1–E15, A1–A4) from bench_test.go.
+# Narrow with BENCH, e.g. `make bench BENCH=BenchmarkE1Caching`.
+BENCH ?= .
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem .
+
+fmt:
+	gofmt -w .

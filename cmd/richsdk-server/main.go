@@ -9,7 +9,7 @@
 //	richsdk-server -addr :8080 -corpus-docs 500 -seed 42
 //
 // Endpoints (JSON): POST /v1/invoke, /v1/invoke-category, /v1/invoke-all,
-// /v1/rank; GET /v1/services, /v1/stats, /v1/cache/stats;
+// /v1/rank; GET /v1/services, /v1/stats, /v1/cache/stats, /v1/breakers;
 // POST /v1/cache/invalidate.
 package main
 
@@ -45,10 +45,19 @@ func run() error {
 		corpusDocs = flag.Int("corpus-docs", 500, "synthetic web corpus size")
 		seed       = flag.Int64("seed", 42, "corpus generation seed")
 		cacheTTL   = flag.Duration("cache-ttl", 5*time.Minute, "response cache TTL")
+
+		breakerThreshold = flag.Int("breaker-threshold", 5, "consecutive transient failures that trip a service's circuit breaker (0 disables)")
+		breakerCooldown  = flag.Duration("breaker-cooldown", 15*time.Second, "how long an open breaker rejects calls before probing")
+		deadlineFactor   = flag.Float64("deadline-factor", 0, "per-call deadline as a multiple of predicted latency (0 disables)")
+		deadlineFloor    = flag.Duration("deadline-floor", 250*time.Millisecond, "minimum per-call deadline when -deadline-factor is set")
 	)
 	flag.Parse()
 
-	client, err := core.NewClient(core.Config{CacheTTL: *cacheTTL})
+	client, err := core.NewClient(core.Config{
+		CacheTTL: *cacheTTL,
+		Breaker:  core.BreakerConfig{Threshold: *breakerThreshold, Cooldown: *breakerCooldown},
+		Deadline: core.DeadlineConfig{Factor: *deadlineFactor, Floor: *deadlineFloor},
+	})
 	if err != nil {
 		return err
 	}

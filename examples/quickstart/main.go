@@ -1,7 +1,8 @@
 // Quickstart: register two NLU services with different latency and cost,
 // invoke one through the rich SDK (with caching and retries), invoke the
-// whole category with ranked failover, and inspect the monitoring data the
-// SDK collected along the way.
+// whole category with ranked failover, plug a custom middleware stage into
+// the invocation pipeline, and inspect the monitoring data the SDK
+// collected along the way.
 //
 //	go run ./examples/quickstart
 package main
@@ -10,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -26,7 +28,21 @@ func main() {
 }
 
 func run() error {
-	client, err := core.NewClient(core.Config{CacheTTL: time.Minute})
+	// A custom middleware stage: every invocation — cache hits included —
+	// passes through it, like an http.RoundTripper wrapper. Client-wide
+	// here; core.WithMiddleware scopes a stage to one registration and
+	// core.WithInvokeMiddleware to one call.
+	var pipelineCalls atomic.Int64
+	audit := func(next core.Invoker) core.Invoker {
+		return func(ctx context.Context, call *core.Call) (service.Response, error) {
+			pipelineCalls.Add(1)
+			return next(ctx, call)
+		}
+	}
+	client, err := core.NewClient(core.Config{
+		CacheTTL:   time.Minute,
+		Middleware: []core.Middleware{audit},
+	})
 	if err != nil {
 		return err
 	}
@@ -105,6 +121,7 @@ func run() error {
 	fmt.Printf("category invocation answered by %s after %d service attempt(s)\n", a.Engine, len(attempts))
 
 	// 5. What the SDK learned while we worked.
+	fmt.Printf("custom middleware observed %d invocations through the pipeline\n", pipelineCalls.Load())
 	fmt.Println("== collected monitoring data ==")
 	for _, s := range client.Stats() {
 		fmt.Printf("%-10s calls %-3d availability %.2f mean %v p95 %v\n",

@@ -316,6 +316,23 @@ func TestGetOrFill(t *testing.T) {
 	}
 }
 
+func TestFillCachesWithoutExtraLookup(t *testing.T) {
+	m := NewMemory[string](4)
+	g := NewGroup[string]()
+	v, err := Fill(m, g, "k", func() (string, error) { return "value", nil })
+	if err != nil || v != "value" {
+		t.Errorf("Fill = (%q, %v)", v, err)
+	}
+	// Fill records only the in-flight re-check, so callers that probed the
+	// cache themselves don't double-count misses.
+	if s := m.Stats(); s.Hits != 0 || s.Misses != 1 {
+		t.Errorf("stats after Fill = %+v, want 0 hits / 1 miss", s)
+	}
+	if v, err := m.Get("k"); err != nil || v != "value" {
+		t.Errorf("Get after Fill = (%q, %v), want cached value", v, err)
+	}
+}
+
 func TestGetOrFillErrorNotCached(t *testing.T) {
 	m := NewMemory[string](4)
 	g := NewGroup[string]()

@@ -67,7 +67,17 @@ func GetOrFill[V any](m *Memory[V], g *Group[V], key string, fill func() (V, err
 	if v, err := m.Get(key); err == nil {
 		return v, true, nil
 	}
-	v, err, _ = g.Do(key, func() (V, error) {
+	v, err = Fill(m, g, key, fill)
+	return v, false, err
+}
+
+// Fill invokes fill for key — de-duplicated across concurrent callers — and
+// caches its result. It is the miss half of GetOrFill, for callers that have
+// already probed the cache themselves: it never records a cache miss of its
+// own, only the re-check inside the flight that lets an earlier duplicate's
+// result win.
+func Fill[V any](m *Memory[V], g *Group[V], key string, fill func() (V, error)) (V, error) {
+	v, err, _ := g.Do(key, func() (V, error) {
 		// Re-check inside the flight: an earlier duplicate may have
 		// already filled the cache.
 		if v, err := m.Get(key); err == nil {
@@ -81,5 +91,5 @@ func GetOrFill[V any](m *Memory[V], g *Group[V], key string, fill func() (V, err
 		m.Set(key, v)
 		return v, nil
 	})
-	return v, false, err
+	return v, err
 }

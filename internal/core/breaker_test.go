@@ -1,0 +1,223 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/failover"
+	"repro/internal/service"
+	"repro/internal/simsvc"
+)
+
+func transientErr() error { return fmt.Errorf("down: %w", service.ErrUnavailable) }
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	b := newBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Minute}, clk)
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused call %d", i)
+		}
+		b.Record(transientErr())
+	}
+	if !b.Tripped() {
+		t.Fatal("breaker should be open after 3 consecutive transient failures")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	b := newBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Minute}, clk)
+	for round := 0; round < 4; round++ {
+		b.Record(transientErr())
+		b.Record(transientErr())
+		b.Record(nil) // success before the threshold
+	}
+	if b.Tripped() {
+		t.Fatal("breaker tripped despite successes resetting the streak")
+	}
+}
+
+func TestBreakerPermanentErrorsDoNotTrip(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	b := newBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Minute}, clk)
+	for i := 0; i < 5; i++ {
+		b.Record(fmt.Errorf("bad: %w", service.ErrBadRequest))
+	}
+	if b.Tripped() {
+		t.Fatal("permanent errors must not trip the breaker: the service is responsive")
+	}
+}
+
+func TestBreakerDeadlineCountsAsTransient(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	b := newBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Minute}, clk)
+	b.Record(fmt.Errorf("slow: %w", ErrDeadline))
+	b.Record(fmt.Errorf("slow: %w", ErrDeadline))
+	if !b.Tripped() {
+		t.Fatal("deadline failures must count toward the threshold")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	b := newBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Minute}, clk)
+	b.Record(transientErr())
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call")
+	}
+	clk.Advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed: breaker should admit one probe")
+	}
+	if b.Allow() {
+		t.Fatal("only one half-open probe may proceed")
+	}
+	// Failed probe re-opens for a fresh cooldown.
+	b.Record(transientErr())
+	clk.Advance(30 * time.Second)
+	if b.Allow() {
+		t.Fatal("failed probe must restart the cooldown")
+	}
+	clk.Advance(30 * time.Second)
+	if !b.Allow() {
+		t.Fatal("fresh cooldown elapsed: probe expected")
+	}
+	// Successful probe closes the breaker.
+	b.Record(nil)
+	if b.Tripped() || !b.Allow() {
+		t.Fatal("successful probe must close the breaker")
+	}
+}
+
+// TestBreakerStageEndToEnd drives the breaker through the client against a
+// scripted simsvc outage: consecutive failures trip it, tripped calls are
+// refused without reaching the service, and recovery closes it again.
+func TestBreakerStageEndToEnd(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	c := newClient(t, Config{
+		Clock:        clk,
+		Breaker:      BreakerConfig{Threshold: 3, Cooldown: time.Minute},
+		DefaultRetry: failover.RetryPolicy{MaxAttempts: 1},
+	})
+	svc := simsvc.New(simsvc.Config{
+		Info:  service.Info{Name: "flaky", Category: "nlu"},
+		Clock: clk,
+	})
+	c.MustRegister(svc)
+
+	if _, err := c.Invoke(context.Background(), "flaky", service.Request{Text: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+
+	svc.SetDown(true)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Invoke(context.Background(), "flaky", service.Request{Text: "x"}); !errors.Is(err, service.ErrUnavailable) {
+			t.Fatalf("invoke %d: err = %v, want ErrUnavailable", i, err)
+		}
+	}
+	before := svc.Invocations()
+	_, err := c.Invoke(context.Background(), "flaky", service.Request{Text: "x"})
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if errors.Is(err, service.ErrUnavailable) {
+		t.Error("ErrBreakerOpen must not match ErrUnavailable (retries would spin)")
+	}
+	if svc.Invocations() != before {
+		t.Error("open breaker still reached the service")
+	}
+
+	states := c.BreakerStates()
+	if len(states) != 1 || states[0].Service != "flaky" || states[0].State != "open" {
+		t.Errorf("BreakerStates = %+v, want flaky open", states)
+	}
+
+	// Service recovers; after the cooldown one probe closes the breaker.
+	svc.SetDown(false)
+	clk.Advance(time.Minute)
+	if _, err := c.Invoke(context.Background(), "flaky", service.Request{Text: "probe"}); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if _, err := c.Invoke(context.Background(), "flaky", service.Request{Text: "after"}); err != nil {
+		t.Fatalf("closed breaker refused call: %v", err)
+	}
+}
+
+// TestBreakerRetriesWithinOneInvokeCountOnce checks the stage order: the
+// breaker wraps outside RetryStage, so an invocation that retries N times
+// records one outcome, not N.
+func TestBreakerRetriesWithinOneInvokeCountOnce(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	c := newClient(t, Config{
+		Clock:        clk,
+		Breaker:      BreakerConfig{Threshold: 3, Cooldown: time.Minute},
+		DefaultRetry: failover.RetryPolicy{MaxAttempts: 3},
+	})
+	svc := simsvc.New(simsvc.Config{
+		Info:  service.Info{Name: "flaky", Category: "nlu"},
+		Clock: clk,
+		Down:  true,
+	})
+	c.MustRegister(svc)
+	// One Invoke = three transport attempts = one breaker outcome.
+	if _, err := c.Invoke(context.Background(), "flaky", service.Request{Text: "x"}); !errors.Is(err, service.ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if c.breakers.Tripped("flaky") {
+		t.Fatal("breaker tripped after one invocation; retries must not count individually")
+	}
+	if got := svc.Invocations(); got != 3 {
+		t.Fatalf("transport attempts = %d, want 3", got)
+	}
+}
+
+func TestRankDemotesTrippedServices(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	c := newClient(t, Config{
+		Clock:        clk,
+		Breaker:      BreakerConfig{Threshold: 1, Cooldown: time.Hour},
+		DefaultRetry: failover.RetryPolicy{MaxAttempts: 1},
+	})
+	a := simsvc.New(simsvc.Config{Info: service.Info{Name: "a", Category: "nlu"}, Clock: clk})
+	b := simsvc.New(simsvc.Config{Info: service.Info{Name: "b", Category: "nlu"}, Clock: clk})
+	c.MustRegister(a)
+	c.MustRegister(b)
+
+	ranked, err := c.Rank("nlu", service.Request{Text: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].Name != "a" {
+		t.Fatalf("baseline rank = %v, want a first", ranked)
+	}
+
+	a.SetDown(true)
+	if _, err := c.Invoke(context.Background(), "a", service.Request{Text: "x"}); err == nil {
+		t.Fatal("want failure to trip a's breaker")
+	}
+	ranked, err = c.Rank("nlu", service.Request{Text: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].Name != "b" || ranked[1].Name != "a" {
+		t.Errorf("rank after trip = [%s %s], want tripped service a demoted last", ranked[0].Name, ranked[1].Name)
+	}
+
+	// Category failover therefore tries the healthy service first.
+	resp, attempts, err := c.InvokeCategory(context.Background(), "nlu", service.Request{Text: "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp
+	if len(attempts) != 1 || attempts[0].Service != "b" {
+		t.Errorf("attempts = %+v, want single attempt against b", attempts)
+	}
+}

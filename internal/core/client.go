@@ -1,19 +1,26 @@
 // Package core implements the rich SDK itself — the paper's primary
-// contribution. The Client ties the substrates together: a registry of
-// services grouped by functionality, per-service monitoring (performance,
-// availability, quality), score-based ranking and selection (Equations 1
-// and 2), failure handling with per-service retry counts and ranked
-// failover, response caching, client-side quotas, latency prediction from
-// latency parameters, and synchronous, asynchronous (ListenableFuture
-// style), and redundant invocation. An HTTP façade (httpapi.go) exposes the
-// SDK to applications written in other languages.
+// contribution. The Client ties the substrates together behind a composable
+// middleware pipeline (middleware.go, stages.go): a registry of services
+// grouped by functionality, and a per-registration chain of stages covering
+// response caching with single-flight de-duplication, circuit breaking,
+// client-side quotas, predicted-latency deadlines, per-service monitoring
+// (performance, availability, quality), latency prediction from latency
+// parameters, and per-service retries. On top of the chain the Client
+// offers score-based ranking and selection (Equations 1 and 2), ranked
+// failover across a category, and synchronous, asynchronous
+// (ListenableFuture style), and redundant invocation. Custom stages inject
+// client-wide (Config.Middleware), per registration (WithMiddleware), or
+// per invocation (WithInvokeMiddleware). An HTTP façade (httpapi.go)
+// exposes the SDK to applications written in other languages.
 package core
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
@@ -51,7 +58,8 @@ type ParamsFunc func(req service.Request) []float64
 
 // Config configures a Client. The zero value is usable: real clock, a
 // 4096-entry cache with no TTL, Equation 1 scoring with default weights,
-// one retry for transient failures, and an 8-worker async pool.
+// one retry for transient failures, an 8-worker async pool, and no circuit
+// breaking or deadlines.
 type Config struct {
 	// Clock is the SDK's timeline. Nil means the real clock.
 	Clock clock.Clock
@@ -67,12 +75,22 @@ type Config struct {
 	DefaultRetry failover.RetryPolicy
 	// AsyncWorkers and AsyncQueue bound the thread pool used for
 	// asynchronous invocation (paper §2.1: "thread pools of limited
-	// size"). Zero means 8 workers, 256 queued tasks.
+	// size").  Zero means 8 workers, 256 queued tasks.
 	AsyncWorkers int
 	AsyncQueue   int
 	// Predict configures latency predictors. The zero value uses the
 	// predict package defaults with peer-average fallback.
 	Predict predict.Config
+	// Breaker enables per-service circuit breakers (BreakerStage) when
+	// Threshold > 0.
+	Breaker BreakerConfig
+	// Deadline enables predicted-latency deadlines (DeadlineStage) when
+	// Factor > 0.
+	Deadline DeadlineConfig
+	// Middleware is injected outermost into every registration's chain,
+	// in order. Use it for client-wide concerns such as logging or
+	// tracing.
+	Middleware []Middleware
 }
 
 func (c *Config) fill() {
@@ -97,31 +115,43 @@ func (c *Config) fill() {
 	if c.Predict.Policy == 0 {
 		c.Predict.Policy = predict.DefaultPeerAverage
 	}
+	c.Breaker.fill()
+	c.Deadline.fill()
 }
 
-// registration holds per-service configuration alongside the service.
+// registration holds per-service configuration alongside the service, plus
+// the middleware chain composed for it at registration time.
 type registration struct {
-	svc       service.Service
-	retry     *failover.RetryPolicy
-	quality   QualityFunc
-	params    ParamsFunc
-	quota     *service.Quota
-	cacheable bool
+	name        string // svc.Info().Name, cached off the hot path
+	cachePrefix string // "svc:<name>:", precomputed for CacheStage
+	svc         service.Service
+	retry       *failover.RetryPolicy
+	policy      failover.RetryPolicy // retry resolved against the client default
+	quality     QualityFunc
+	params      ParamsFunc
+	quota       *service.Quota
+	cacheable   bool
+	mw          []Middleware
+
+	invoke Invoker // the composed stage chain
 }
 
 // Client is the rich SDK entry point. It is safe for concurrent use after
 // all services are registered.
 type Client struct {
-	cfg      Config
-	registry *service.Registry
-	monitors *metrics.Registry
-	memcache *cache.Memory[service.Response]
-	flight   *cache.Group[service.Response]
-	pool     *future.Pool
+	cfg        Config
+	registry   *service.Registry
+	monitors   *metrics.Registry
+	memcache   *cache.Memory[service.Response]
+	flight     *cache.Group[service.Response]
+	pool       *future.Pool
+	predictors *PredictorSet
+	breakers   *BreakerSet // nil when Config.Breaker is disabled
 
-	mu         sync.Mutex
-	regs       map[string]*registration
-	predictors map[string]*predict.Predictor
+	// regs is a copy-on-write snapshot: Register rebuilds it under mu,
+	// invocations read it with a single atomic load and no lock.
+	regs atomic.Pointer[map[string]*registration]
+	mu   sync.Mutex
 }
 
 // NewClient returns a Client with the given configuration.
@@ -131,15 +161,21 @@ func NewClient(cfg Config) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: async pool: %w", err)
 	}
-	return &Client{
-		cfg:      cfg,
-		registry: service.NewRegistry(),
-		monitors: metrics.NewRegistry(metrics.WithClock(cfg.Clock)),
-		memcache: cache.NewMemory[service.Response](cfg.CacheSize, cache.WithTTL[service.Response](cfg.CacheTTL), cache.WithClock[service.Response](cfg.Clock)),
-		flight:   cache.NewGroup[service.Response](),
-		pool:     pool,
-		regs:     make(map[string]*registration),
-	}, nil
+	c := &Client{
+		cfg:        cfg,
+		registry:   service.NewRegistry(),
+		monitors:   metrics.NewRegistry(metrics.WithClock(cfg.Clock)),
+		memcache:   cache.NewMemory[service.Response](cfg.CacheSize, cache.WithTTL[service.Response](cfg.CacheTTL), cache.WithClock[service.Response](cfg.Clock)),
+		flight:     cache.NewGroup[service.Response](),
+		pool:       pool,
+		predictors: NewPredictorSet(cfg.Predict),
+	}
+	empty := make(map[string]*registration)
+	c.regs.Store(&empty)
+	if cfg.Breaker.Threshold > 0 {
+		c.breakers = NewBreakerSet(cfg.Breaker, cfg.Clock)
+	}
+	return c, nil
 }
 
 // Close releases the client's async pool, waiting for in-flight async
@@ -181,22 +217,64 @@ func WithCacheable() RegisterOption {
 	return func(r *registration) { r.cacheable = true }
 }
 
-// Register adds a service to the SDK.
+// WithMiddleware injects mw into this registration's chain, outside the
+// built-in stages (so it observes every call, cache hits included) and
+// inside any client-wide Config.Middleware.
+func WithMiddleware(mw ...Middleware) RegisterOption {
+	return func(r *registration) { r.mw = append(r.mw, mw...) }
+}
+
+// Register adds a service to the SDK and composes its middleware chain.
 func (c *Client) Register(svc service.Service, opts ...RegisterOption) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if err := c.registry.Register(svc); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
 	reg := &registration{
+		name:   svc.Info().Name,
 		svc:    svc,
 		params: func(req service.Request) []float64 { return []float64{float64(req.ArgSize())} },
 	}
+	reg.cachePrefix = "svc:" + reg.name + ":"
 	for _, o := range opts {
 		o(reg)
 	}
-	c.mu.Lock()
-	c.regs[svc.Info().Name] = reg
-	c.mu.Unlock()
+	reg.policy = c.cfg.DefaultRetry
+	if reg.retry != nil {
+		reg.policy = *reg.retry
+	}
+	reg.invoke = Compose(transport(), c.stages(reg)...)
+	old := *c.regs.Load()
+	next := make(map[string]*registration, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[reg.name] = reg
+	c.regs.Store(&next)
 	return nil
+}
+
+// stages assembles the registration's chain, outermost first. See the
+// package-level order documented in stages.go.
+func (c *Client) stages(reg *registration) []Middleware {
+	mw := make([]Middleware, 0, len(c.cfg.Middleware)+len(reg.mw)+7)
+	mw = append(mw, c.cfg.Middleware...)
+	mw = append(mw, reg.mw...)
+	mw = append(mw, CacheStage(c.memcache, c.flight))
+	if c.breakers != nil {
+		mw = append(mw, BreakerStage(c.breakers))
+	}
+	mw = append(mw, QuotaStage())
+	if c.cfg.Deadline.Factor > 0 {
+		mw = append(mw, DeadlineStage(c.PredictLatency, c.cfg.Deadline))
+	}
+	mw = append(mw,
+		MonitorStage(c.monitors),
+		PredictStage(c.predictors),
+		RetryStage(c.cfg.Clock),
+	)
+	return mw
 }
 
 // MustRegister is Register that panics on error, for program setup code.
@@ -207,9 +285,7 @@ func (c *Client) MustRegister(svc service.Service, opts ...RegisterOption) {
 }
 
 func (c *Client) reg(name string) (*registration, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	r, ok := c.regs[name]
+	r, ok := (*c.regs.Load())[name]
 	return r, ok
 }
 
@@ -223,100 +299,112 @@ func (c *Client) Stats() []metrics.Snapshot { return c.monitors.Snapshots() }
 // Registry exposes the underlying service registry (read-only use).
 func (c *Client) Registry() *service.Registry { return c.registry }
 
+// BreakerStates summarizes the circuit breakers of every service the
+// client has invoked. It is empty when Config.Breaker is disabled.
+func (c *Client) BreakerStates() []BreakerState {
+	if c.breakers == nil {
+		return nil
+	}
+	return c.breakers.States()
+}
+
 // InvokeOption customizes a single invocation.
 type InvokeOption func(*invokeOpts)
 
 type invokeOpts struct {
 	noCache bool
 	retry   *failover.RetryPolicy
+	mw      []Middleware
 }
 
 // NoCache bypasses the response cache for this invocation.
 func NoCache() InvokeOption { return func(o *invokeOpts) { o.noCache = true } }
+
+// parseInvokeOpts applies opts to a fresh invokeOpts. Callers guard it with
+// len(opts) > 0: handing &io to a dynamic option function forces io onto
+// the heap, and the split keeps the zero-option fast path allocation-free.
+func parseInvokeOpts(opts []InvokeOption) invokeOpts {
+	var io invokeOpts
+	for _, o := range opts {
+		o(&io)
+	}
+	return io
+}
 
 // Retry overrides the retry policy for this invocation.
 func Retry(p failover.RetryPolicy) InvokeOption {
 	return func(o *invokeOpts) { o.retry = &p }
 }
 
-// Invoke synchronously calls the named service with monitoring, caching,
-// client-side quota enforcement, and retries.
+// WithInvokeMiddleware injects mw outermost around this invocation's chain
+// (for category invocation, around each attempted service's chain).
+func WithInvokeMiddleware(mw ...Middleware) InvokeOption {
+	return func(o *invokeOpts) { o.mw = append(o.mw, mw...) }
+}
+
+// fillCall populates the Call a registration's chain will execute,
+// resolving the effective retry policy (client default < registration <
+// invocation). It writes every Call field, so a recycled Call needs no
+// prior reset.
+func (c *Client) fillCall(call *Call, reg *registration, req *service.Request, io invokeOpts) {
+	call.Req = *req
+	call.NoCache = io.noCache
+	call.Attempts = 0
+	call.Elapsed = 0
+	call.reg = reg
+	call.retryOverride = io.retry
+	call.params = nil
+}
+
+// callPool recycles Call values so the cache-hit fast path does not pay a
+// heap allocation per invocation. Calls are valid only until the chain
+// returns (see Call).
+var callPool = sync.Pool{New: func() any { return new(Call) }}
+
+// run sends one call through the registration's composed chain, wrapping
+// any per-invocation middleware around it. req is a pointer purely to
+// avoid copying the request an extra time on the hot path; it is copied
+// into the Call, never retained. io travels by value so the options never
+// escape to the heap.
+func (c *Client) run(ctx context.Context, reg *registration, req *service.Request, io invokeOpts) (service.Response, error) {
+	inv := reg.invoke
+	if len(io.mw) > 0 {
+		inv = Compose(inv, io.mw...)
+	}
+	call := callPool.Get().(*Call)
+	c.fillCall(call, reg, req, io)
+	resp, err := inv(ctx, call)
+	// A parked Call keeps its last request until reuse overwrites it or the
+	// next GC cycle releases the pool entry; both bound the retention, so no
+	// per-call reset is needed (fillCall rewrites every field on reuse).
+	callPool.Put(call)
+	return resp, err
+}
+
+// Invoke synchronously calls the named service through its middleware
+// chain: caching, circuit breaking, quota enforcement, deadlines,
+// monitoring, latency observation, and retries are all stages of the
+// composed pipeline.
 func (c *Client) Invoke(ctx context.Context, name string, req service.Request, opts ...InvokeOption) (service.Response, error) {
 	var io invokeOpts
-	for _, o := range opts {
-		o(&io)
+	if len(opts) > 0 {
+		io = parseInvokeOpts(opts)
 	}
 	reg, ok := c.reg(name)
 	if !ok {
 		return service.Response{}, fmt.Errorf("%w: %s", ErrUnknownService, name)
 	}
-	useCache := reg.cacheable && !io.noCache
-	key := "svc:" + name + ":" + req.CacheKey()
-	if useCache {
-		if resp, err := c.memcache.Get(key); err == nil {
-			return resp, nil
-		}
-		resp, err, _ := c.flight.Do(key, func() (service.Response, error) {
-			if resp, err := c.memcache.Get(key); err == nil {
-				return resp, nil
-			}
-			resp, err := c.invokeOnce(ctx, reg, req, io.retry)
-			if err != nil {
-				return service.Response{}, err
-			}
-			c.memcache.Set(key, resp)
-			return resp, nil
-		})
-		return resp, err
-	}
-	return c.invokeOnce(ctx, reg, req, io.retry)
-}
-
-// invokeOnce performs the monitored, retried call to one service.
-func (c *Client) invokeOnce(ctx context.Context, reg *registration, req service.Request, retryOverride *failover.RetryPolicy) (service.Response, error) {
-	if reg.quota != nil && !reg.quota.Take() {
-		return service.Response{}, fmt.Errorf("%w: %s", ErrClientQuota, reg.svc.Info().Name)
-	}
-	policy := c.cfg.DefaultRetry
-	if reg.retry != nil {
-		policy = *reg.retry
-	}
-	if retryOverride != nil {
-		policy = *retryOverride
-	}
-	name := reg.svc.Info().Name
-	params := reg.params(req)
-	start := c.cfg.Clock.Now()
-	resp, _, err := failover.Invoke(ctx, c.cfg.Clock, reg.svc, req, policy)
-	elapsed := c.cfg.Clock.Since(start)
-	mon := c.monitors.Monitor(name)
-	mon.Record(metrics.Observation{Latency: elapsed, Err: err, Params: params})
-	if err != nil {
-		return service.Response{}, err
-	}
-	if reg.quality != nil {
-		mon.RecordQuality(reg.quality(req, resp))
-	}
-	c.mu.Lock()
-	p := c.predictors[name]
-	if p == nil {
-		p = predict.New(c.cfg.Predict)
-		if c.predictors == nil {
-			c.predictors = make(map[string]*predict.Predictor)
-		}
-		c.predictors[name] = p
-	}
-	p.Observe(params, elapsed)
-	c.mu.Unlock()
-	return resp, nil
+	return c.run(ctx, reg, &req, io)
 }
 
 // InvokeAsync calls the named service on the SDK's bounded pool and returns
 // a ListenableFuture-style future. Callbacks registered on the future run
 // when the call completes (paper §2: asynchronous invocation with
-// registered callbacks).
+// registered callbacks). When the pool is saturated or closed the future
+// fails immediately — with future.ErrPoolSaturated or future.ErrPoolClosed
+// — instead of blocking the caller.
 func (c *Client) InvokeAsync(ctx context.Context, name string, req service.Request, opts ...InvokeOption) *future.Future[service.Response] {
-	return future.Submit(c.pool, func() (service.Response, error) {
+	return future.TrySubmit(c.pool, func() (service.Response, error) {
 		return c.Invoke(ctx, name, req, opts...)
 	})
 }
@@ -330,14 +418,8 @@ func (c *Client) PredictLatency(name string, params []float64) (time.Duration, e
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrUnknownService, name)
 	}
-	c.mu.Lock()
-	p := c.predictors[name]
-	c.mu.Unlock()
-	if p == nil {
-		p = predict.New(c.cfg.Predict)
-	}
 	peers := c.peerMeansMS(reg.svc.Info().Category, name)
-	return p.Predict(params, peers)
+	return c.predictors.Predict(name, params, peers)
 }
 
 // peerMeansMS returns mean latencies (ms) of other services in category.
@@ -387,13 +469,22 @@ func (c *Client) Estimates(category string, req service.Request) ([]rank.Estimat
 }
 
 // Rank scores and ranks the services in category for the given request
-// using the configured scorer, best first.
+// using the configured scorer, best first. Services whose circuit breaker
+// is open are demoted below every closed-breaker service (stable within
+// each group): observed unavailability feeds back into selection, so
+// failover chains try healthy services first.
 func (c *Client) Rank(category string, req service.Request) ([]rank.Scored, error) {
 	ests, err := c.Estimates(category, req)
 	if err != nil {
 		return nil, err
 	}
-	return rank.Rank(ests, c.cfg.Scorer), nil
+	ranked := rank.Rank(ests, c.cfg.Scorer)
+	if c.breakers != nil {
+		sort.SliceStable(ranked, func(i, j int) bool {
+			return !c.breakers.Tripped(ranked[i].Name) && c.breakers.Tripped(ranked[j].Name)
+		})
+	}
+	return ranked, nil
 }
 
 // Select returns the best-ranked service name in category for the request.
@@ -407,11 +498,14 @@ func (c *Client) Select(category string, req service.Request) (string, error) {
 
 // InvokeCategory invokes the best service in category, failing over to
 // lower-ranked services (each with its registered retry policy) until one
-// responds — the paper's ranked failover.
+// responds — the paper's ranked failover. Each attempted service runs
+// through its full middleware chain (minus the per-service cache, replaced
+// by the category-level cache here), so monitoring, breakers, quotas, and
+// deadlines all apply per attempt.
 func (c *Client) InvokeCategory(ctx context.Context, category string, req service.Request, opts ...InvokeOption) (service.Response, []failover.Attempt, error) {
 	var io invokeOpts
-	for _, o := range opts {
-		o(&io)
+	if len(opts) > 0 {
+		io = parseInvokeOpts(opts)
 	}
 	order, err := c.Rank(category, req)
 	if err != nil {
@@ -441,7 +535,7 @@ func (c *Client) InvokeCategory(ctx context.Context, category string, req servic
 		if reg.cacheable {
 			cacheable = true
 		}
-		steps = append(steps, failover.Step{Service: c.monitored(reg), Policy: policy})
+		steps = append(steps, failover.Step{Service: c.stepService(reg, &io), Policy: policy})
 	}
 	resp, attempts, err := failover.Chain(ctx, c.cfg.Clock, steps, req)
 	if err != nil {
@@ -453,9 +547,10 @@ func (c *Client) InvokeCategory(ctx context.Context, category string, req servic
 	return resp, attempts, nil
 }
 
-// InvokeCategoryAsync runs InvokeCategory on the SDK pool.
+// InvokeCategoryAsync runs InvokeCategory on the SDK pool. Pool saturation
+// surfaces through the returned future as future.ErrPoolSaturated.
 func (c *Client) InvokeCategoryAsync(ctx context.Context, category string, req service.Request, opts ...InvokeOption) *future.Future[service.Response] {
-	return future.Submit(c.pool, func() (service.Response, error) {
+	return future.TrySubmit(c.pool, func() (service.Response, error) {
 		resp, _, err := c.InvokeCategory(ctx, category, req, opts...)
 		return resp, err
 	})
@@ -463,16 +558,18 @@ func (c *Client) InvokeCategoryAsync(ctx context.Context, category string, req s
 
 // InvokeAll redundantly invokes every service in category in parallel and
 // returns all results in registry order — the paper's multi-service case
-// for redundancy or for comparing and combining outputs.
+// for redundancy or for comparing and combining outputs. Every invocation
+// runs through its service's middleware chain.
 func (c *Client) InvokeAll(ctx context.Context, category string, req service.Request) ([]failover.Result, error) {
 	svcs := c.registry.Category(category)
 	if len(svcs) == 0 {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownCategory, category)
 	}
+	var io invokeOpts
 	wrapped := make([]service.Service, len(svcs))
 	for i, svc := range svcs {
 		reg, _ := c.reg(svc.Info().Name)
-		wrapped[i] = c.monitored(reg)
+		wrapped[i] = c.stepService(reg, &io)
 	}
 	return failover.InvokeAll(ctx, c.cfg.Clock, wrapped, req), nil
 }
@@ -484,15 +581,20 @@ func (c *Client) CacheStats() cache.Stats { return c.memcache.Stats() }
 // issues may arise in which a cached value is obsolete").
 func (c *Client) InvalidateCache() { c.memcache.Clear() }
 
-// monitored wraps a registration as a Service that records metrics,
-// quality, quota, and predictor observations on every invocation, so that
-// failover chains and redundant invocation feed monitoring exactly like
-// direct invocation.
-func (c *Client) monitored(reg *registration) service.Service {
+// stepService adapts a registration's chain to a service.Service for
+// failover chains and redundant invocation: each attempt is a single pass
+// through the pipeline (retries belong to the chain's step policy), with
+// the per-service cache skipped so the category-level cache governs.
+func (c *Client) stepService(reg *registration, io *invokeOpts) service.Service {
 	return service.Func{
 		Meta: reg.svc.Info(),
 		Fn: func(ctx context.Context, req service.Request) (service.Response, error) {
-			return c.invokeOnce(ctx, reg, req, &failover.RetryPolicy{MaxAttempts: 1})
+			step := invokeOpts{
+				noCache: true,
+				retry:   &failover.RetryPolicy{MaxAttempts: 1},
+				mw:      io.mw,
+			}
+			return c.run(ctx, reg, &req, step)
 		},
 	}
 }

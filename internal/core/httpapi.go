@@ -22,6 +22,7 @@ import (
 //	GET  /v1/stats                                           -> {services: [snapshots]}
 //	GET  /v1/cache/stats                                     -> cache.Stats
 //	POST /v1/cache/invalidate                                -> 204
+//	GET  /v1/breakers                                        -> {breakers: [states]}
 
 // API wraps a Client as an http.Handler.
 type API struct {
@@ -42,6 +43,7 @@ func NewAPI(client *Client) *API {
 	a.mux.HandleFunc("GET /v1/stats", a.handleStats)
 	a.mux.HandleFunc("GET /v1/cache/stats", a.handleCacheStats)
 	a.mux.HandleFunc("POST /v1/cache/invalidate", a.handleCacheInvalidate)
+	a.mux.HandleFunc("GET /v1/breakers", a.handleBreakers)
 	return a
 }
 
@@ -75,7 +77,11 @@ func errStatus(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, ErrClientQuota), errors.Is(err, service.ErrQuotaExceeded):
 		return http.StatusTooManyRequests
-	case errors.Is(err, service.ErrUnavailable):
+	// ErrDeadline first: a deadline-bounded hang usually also wraps the
+	// service's unavailability, and the timeout is the sharper diagnosis.
+	case errors.Is(err, ErrDeadline):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrBreakerOpen), errors.Is(err, service.ErrUnavailable):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
@@ -200,4 +206,12 @@ func (a *API) handleCacheStats(w http.ResponseWriter, r *http.Request) {
 func (a *API) handleCacheInvalidate(w http.ResponseWriter, r *http.Request) {
 	a.client.InvalidateCache()
 	w.WriteHeader(http.StatusNoContent)
+}
+
+func (a *API) handleBreakers(w http.ResponseWriter, r *http.Request) {
+	states := a.client.BreakerStates()
+	if states == nil {
+		states = []BreakerState{}
+	}
+	writeJSONStatus(w, http.StatusOK, map[string]any{"breakers": states})
 }

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/clock"
+	"repro/internal/failover"
+	"repro/internal/metrics"
+	"repro/internal/predict"
+	"repro/internal/service"
+)
+
+// The built-in stages, in the order the Client composes them (outermost
+// first):
+//
+//	CacheStage    — response cache + single-flight de-duplication
+//	BreakerStage  — circuit breaker (only when Config.Breaker enables it)
+//	QuotaStage    — client-side quota enforcement
+//	DeadlineStage — predicted-latency deadline (only when Config.Deadline
+//	                enables it)
+//	MonitorStage  — latency/availability observation + quality rating
+//	PredictStage  — latency-parameter observation
+//	RetryStage    — per-service retries (failover.InvokeFunc)
+//
+// Client-wide (Config.Middleware), per-registration (WithMiddleware), and
+// per-invocation (WithInvokeMiddleware) middleware wrap outside the whole
+// stack, so custom stages observe every call including cache hits. Each
+// stage is independently constructible and testable; a Client is just one
+// particular composition.
+
+// ErrDeadline is returned when DeadlineStage's predicted-latency deadline
+// expires before the service responds. The circuit breaker counts it as a
+// transient failure: a too-slow service is treated like an unavailable one.
+var ErrDeadline = errors.New("core: predicted-latency deadline exceeded")
+
+// CacheStage serves cacheable calls from mem, de-duplicating concurrent
+// misses for the same key through flight so one backend call feeds every
+// waiter (paper §2: caching avoids redundant service calls). Calls that are
+// not cacheable, or carry NoCache, pass through untouched.
+func CacheStage(mem *cache.Memory[service.Response], flight *cache.Group[service.Response]) Middleware {
+	return func(next Invoker) Invoker {
+		return func(ctx context.Context, call *Call) (service.Response, error) {
+			if !call.reg.cacheable || call.NoCache {
+				return next(ctx, call)
+			}
+			key := call.reg.cachePrefix + call.Req.CacheKey()
+			// Hit fast path first: probing the cache before building the
+			// fill closure keeps the hit entirely allocation-free beyond
+			// the key itself. Fill (not GetOrFill) on the miss path, so
+			// the probe stays the only recorded cache lookup.
+			if resp, err := mem.Get(key); err == nil {
+				return resp, nil
+			}
+			return cache.Fill(mem, flight, key, func() (service.Response, error) {
+				return next(ctx, call)
+			})
+		}
+	}
+}
+
+// QuotaStage refuses calls beyond the registration's client-side quota
+// without invoking the service, preserving a limited allowance (paper
+// §2.2). Calls without a quota pass through.
+func QuotaStage() Middleware {
+	return func(next Invoker) Invoker {
+		return func(ctx context.Context, call *Call) (service.Response, error) {
+			if q := call.reg.quota; q != nil && !q.Take() {
+				return service.Response{}, fmt.Errorf("%w: %s", ErrClientQuota, call.reg.name)
+			}
+			return next(ctx, call)
+		}
+	}
+}
+
+// BreakerStage consults the service's circuit breaker before the call and
+// records the outcome after: consecutive transient failures trip the
+// breaker, which then rejects calls with ErrBreakerOpen until its cooldown
+// admits a probe. Client.Rank demotes tripped services, feeding observed
+// availability back into selection.
+func BreakerStage(set *BreakerSet) Middleware {
+	return func(next Invoker) Invoker {
+		return func(ctx context.Context, call *Call) (service.Response, error) {
+			b := set.For(call.reg.name)
+			if !b.Allow() {
+				return service.Response{}, fmt.Errorf("%w: %s", ErrBreakerOpen, call.reg.name)
+			}
+			resp, err := next(ctx, call)
+			b.Record(err)
+			return resp, err
+		}
+	}
+}
+
+// DeadlineConfig configures DeadlineStage.
+type DeadlineConfig struct {
+	// Factor multiplies the predicted latency to produce the call's
+	// deadline. Zero disables the stage.
+	Factor float64
+	// Floor is the minimum deadline, guarding against overly aggressive
+	// predictions from sparse data. Zero means 100ms.
+	Floor time.Duration
+	// Cap bounds the deadline from above. Zero means uncapped.
+	Cap time.Duration
+}
+
+func (c *DeadlineConfig) fill() {
+	if c.Factor > 0 && c.Floor <= 0 {
+		c.Floor = 100 * time.Millisecond
+	}
+}
+
+// DeadlineStage bounds each call at Factor × the service's predicted
+// latency (clamped to [Floor, Cap]), derived from the same parameterized
+// prediction that drives ranking (paper §2). Services with no prediction
+// yet run unbounded. When the stage's own deadline — not the caller's —
+// expires, the error wraps ErrDeadline so the breaker treats the service as
+// unavailable. The deadline runs on real time (context machinery); virtual-
+// clock simulations should leave the stage disabled.
+func DeadlineStage(predictLatency func(name string, params []float64) (time.Duration, error), cfg DeadlineConfig) Middleware {
+	cfg.fill()
+	return func(next Invoker) Invoker {
+		return func(ctx context.Context, call *Call) (service.Response, error) {
+			pred, err := predictLatency(call.reg.name, call.LatencyParams())
+			if err != nil || pred <= 0 {
+				return next(ctx, call)
+			}
+			d := time.Duration(cfg.Factor * float64(pred))
+			if d < cfg.Floor {
+				d = cfg.Floor
+			}
+			if cfg.Cap > 0 && d > cfg.Cap {
+				d = cfg.Cap
+			}
+			dctx, cancel := context.WithTimeout(ctx, d)
+			defer cancel()
+			resp, err := next(dctx, call)
+			if err != nil && errors.Is(dctx.Err(), context.DeadlineExceeded) && ctx.Err() == nil {
+				err = fmt.Errorf("%w: %s after %v: %w", ErrDeadline, call.reg.name, d, err)
+			}
+			return resp, err
+		}
+	}
+}
+
+// MonitorStage records every call that reaches the service — latency,
+// availability, attempts, latency parameters — into the service's monitor,
+// and rates successful responses with the registration's quality function
+// (paper §2: monitoring and data collection, service quality evaluation).
+func MonitorStage(monitors *metrics.Registry) Middleware {
+	return func(next Invoker) Invoker {
+		return func(ctx context.Context, call *Call) (service.Response, error) {
+			resp, err := next(ctx, call)
+			mon := monitors.Monitor(call.reg.name)
+			mon.Record(metrics.Observation{
+				Latency:  call.Elapsed,
+				Err:      err,
+				Params:   call.LatencyParams(),
+				Attempts: call.Attempts,
+			})
+			if err != nil {
+				return service.Response{}, err
+			}
+			if q := call.reg.quality; q != nil {
+				mon.RecordQuality(q(call.Req, resp))
+			}
+			return resp, nil
+		}
+	}
+}
+
+// PredictStage feeds successful calls' (latency parameters, latency) pairs
+// into the service's latency predictor (paper §2: predicting latency from
+// latency parameters).
+func PredictStage(set *PredictorSet) Middleware {
+	return func(next Invoker) Invoker {
+		return func(ctx context.Context, call *Call) (service.Response, error) {
+			resp, err := next(ctx, call)
+			if err == nil {
+				set.Observe(call.reg.name, call.LatencyParams(), call.Elapsed)
+			}
+			return resp, err
+		}
+	}
+}
+
+// RetryStage applies the call's retry policy to the rest of the chain
+// (paper §2.1: retrying unresponsive services a per-service number of
+// times), recording the attempt count and total elapsed time — including
+// backoff — on the call for the observation stages outside it.
+func RetryStage(clk clock.Clock) Middleware {
+	return func(next Invoker) Invoker {
+		return func(ctx context.Context, call *Call) (service.Response, error) {
+			start := clk.Now()
+			resp, attempts, err := failover.InvokeFunc(ctx, clk, func(ctx context.Context) (service.Response, error) {
+				return next(ctx, call)
+			}, call.Retry())
+			call.Attempts = attempts
+			call.Elapsed = clk.Since(start)
+			return resp, err
+		}
+	}
+}
+
+// PredictorSet owns the per-service latency predictors of one Client.
+// predict.Predictor is not itself safe for concurrent use, so every Observe
+// and Predict runs under the set's lock. It is safe for concurrent use.
+type PredictorSet struct {
+	cfg predict.Config
+
+	mu sync.Mutex
+	m  map[string]*predict.Predictor
+}
+
+// NewPredictorSet returns an empty set producing predictors from cfg.
+func NewPredictorSet(cfg predict.Config) *PredictorSet {
+	return &PredictorSet{cfg: cfg, m: make(map[string]*predict.Predictor)}
+}
+
+// predictor returns the named service's predictor, creating and registering
+// it on first use so no observation is ever dropped. Callers must hold mu.
+func (s *PredictorSet) predictor(name string) *predict.Predictor {
+	p := s.m[name]
+	if p == nil {
+		p = predict.New(s.cfg)
+		s.m[name] = p
+	}
+	return p
+}
+
+// Observe records that an invocation of name with the given latency
+// parameters took lat.
+func (s *PredictorSet) Observe(name string, params []float64, lat time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.predictor(name).Observe(params, lat)
+}
+
+// Predict estimates the latency of invoking name with the given parameters;
+// peersMS carries mean latencies of similar services for the peer fallback
+// policies.
+func (s *PredictorSet) Predict(name string, params, peersMS []float64) (time.Duration, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.predictor(name).Predict(params, peersMS)
+}

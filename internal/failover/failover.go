@@ -54,6 +54,16 @@ func (p RetryPolicy) retryable(err error) bool {
 // and the final error. A nil clk uses the real clock. Context cancellation
 // stops retrying immediately.
 func Invoke(ctx context.Context, clk clock.Clock, svc service.Service, req service.Request, policy RetryPolicy) (service.Response, int, error) {
+	return InvokeFunc(ctx, clk, func(ctx context.Context) (service.Response, error) {
+		return svc.Invoke(ctx, req)
+	}, policy)
+}
+
+// InvokeFunc is Invoke for a bare attempt function: it applies policy to
+// fn, which performs one attempt. It exists for callers — such as the SDK
+// core's RetryStage — whose single attempt is not a service.Service but a
+// composed pipeline.
+func InvokeFunc(ctx context.Context, clk clock.Clock, fn func(ctx context.Context) (service.Response, error), policy RetryPolicy) (service.Response, int, error) {
 	if clk == nil {
 		clk = clock.Real()
 	}
@@ -61,7 +71,7 @@ func Invoke(ctx context.Context, clk clock.Clock, svc service.Service, req servi
 	var lastErr error
 	maxAttempts := policy.attempts()
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
-		resp, err := svc.Invoke(ctx, req)
+		resp, err := fn(ctx)
 		if err == nil {
 			return resp, attempt, nil
 		}

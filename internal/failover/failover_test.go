@@ -351,3 +351,36 @@ func TestQuorumInvalid(t *testing.T) {
 		t.Error("quorum > len should error")
 	}
 }
+
+func TestInvokeFuncAppliesPolicyToBareFunction(t *testing.T) {
+	var calls int
+	fn := func(ctx context.Context) (service.Response, error) {
+		calls++
+		if calls < 3 {
+			return service.Response{}, fmt.Errorf("try %d: %w", calls, service.ErrUnavailable)
+		}
+		return service.Response{Body: []byte("ok")}, nil
+	}
+	resp, attempts, err := InvokeFunc(context.Background(), nil, fn, RetryPolicy{MaxAttempts: 3})
+	if err != nil || string(resp.Body) != "ok" {
+		t.Fatalf("resp = %q, err = %v", resp.Body, err)
+	}
+	if attempts != 3 || calls != 3 {
+		t.Errorf("attempts = %d, calls = %d, want 3 each", attempts, calls)
+	}
+}
+
+func TestInvokeFuncPermanentErrorStopsImmediately(t *testing.T) {
+	var calls int
+	fn := func(ctx context.Context) (service.Response, error) {
+		calls++
+		return service.Response{}, fmt.Errorf("bad: %w", service.ErrBadRequest)
+	}
+	_, attempts, err := InvokeFunc(context.Background(), nil, fn, RetryPolicy{MaxAttempts: 5})
+	if !errors.Is(err, service.ErrBadRequest) {
+		t.Fatalf("err = %v, want ErrBadRequest", err)
+	}
+	if attempts != 1 || calls != 1 {
+		t.Errorf("attempts = %d, calls = %d, want 1 each", attempts, calls)
+	}
+}

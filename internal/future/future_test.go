@@ -370,3 +370,44 @@ func TestConcurrentSettleRace(t *testing.T) {
 		}
 	}
 }
+
+func TestTrySubmitSaturatedPool(t *testing.T) {
+	p, err := NewPool(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	busy := TrySubmit(p, func() (int, error) {
+		close(started)
+		<-release
+		return 1, nil
+	})
+	<-started // worker occupied
+	queued := TrySubmit(p, func() (int, error) { return 2, nil })
+	overflow := TrySubmit(p, func() (int, error) { return 3, nil })
+	if _, err := overflow.GetTimeout(time.Second); !errors.Is(err, ErrPoolSaturated) {
+		t.Fatalf("overflow err = %v, want ErrPoolSaturated", err)
+	}
+	release <- struct{}{}
+	if v, err := busy.GetTimeout(time.Second); err != nil || v != 1 {
+		t.Fatalf("busy = %d, %v", v, err)
+	}
+	if v, err := queued.GetTimeout(time.Second); err != nil || v != 2 {
+		t.Fatalf("queued = %d, %v", v, err)
+	}
+}
+
+func TestTrySubmitClosedPool(t *testing.T) {
+	p, err := NewPool(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	f := TrySubmit(p, func() (int, error) { return 1, nil })
+	if _, err := f.GetTimeout(time.Second); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("err = %v, want ErrPoolClosed", err)
+	}
+}

@@ -9,6 +9,10 @@ import (
 // ErrPoolClosed is returned by Submit after Close has been called.
 var ErrPoolClosed = errors.New("future: pool closed")
 
+// ErrPoolSaturated is carried by the failed future TrySubmit returns when
+// the pool's queue is full: every worker is busy and no queue slot is free.
+var ErrPoolSaturated = errors.New("future: pool saturated")
+
 // Pool is a bounded worker pool: at most Workers tasks execute
 // concurrently, and at most QueueDepth tasks wait. Submit blocks when the
 // queue is full, providing natural backpressure instead of unbounded
@@ -68,6 +72,37 @@ func Submit[T any](p *Pool, fn func() (T, error)) *Future[T] {
 	// is saturated either way.
 	p.tasks <- task
 	p.mu.Unlock()
+	return f
+}
+
+// TrySubmit is Submit without the queue-full blocking: if the pool's queue
+// has no free slot the returned future fails immediately with
+// ErrPoolSaturated (and with ErrPoolClosed after Close). Callers that must
+// not stall on a saturated pool — the SDK's asynchronous invocation, for
+// example — use it to turn backpressure into an explicit, observable error.
+func TrySubmit[T any](p *Pool, fn func() (T, error)) *Future[T] {
+	f := New[T]()
+	task := func() {
+		v, err := fn()
+		if err != nil {
+			f.Fail(err)
+			return
+		}
+		f.Complete(v)
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		f.Fail(ErrPoolClosed)
+		return f
+	}
+	select {
+	case p.tasks <- task:
+		p.mu.Unlock()
+	default:
+		p.mu.Unlock()
+		f.Fail(ErrPoolSaturated)
+	}
 	return f
 }
 

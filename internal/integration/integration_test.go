@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/lexicon"
 	"repro/internal/nlu"
+	"repro/internal/predict"
 	"repro/internal/rdf"
 	"repro/internal/remotestore"
 	"repro/internal/search"
@@ -415,5 +417,113 @@ func TestKBConfidencePipeline(t *testing.T) {
 	}
 	if base.Graph().Has(dubious) {
 		t.Error("dubious inference asserted despite threshold")
+	}
+}
+
+// TestBreakerAndDeadlineThroughFacade exercises the two new pipeline stages
+// end to end over HTTP, the way richsdk-server deploys them: a scripted
+// outage trips the circuit breaker (503 + /v1/breakers reports it open),
+// recovery closes it, and a service that turns unresponsive after training
+// is cut off by the predicted-latency deadline (504).
+func TestBreakerAndDeadlineThroughFacade(t *testing.T) {
+	client, err := core.NewClient(core.Config{
+		Breaker:      core.BreakerConfig{Threshold: 2, Cooldown: 50 * time.Millisecond},
+		Deadline:     core.DeadlineConfig{Factor: 2, Floor: 30 * time.Millisecond},
+		Predict:      predict.Config{MinObservations: 2},
+		DefaultRetry: failover.RetryPolicy{MaxAttempts: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+
+	flaky := simsvc.New(simsvc.Config{Info: service.Info{Name: "flaky", Category: "nlu"}})
+	if err := client.Register(flaky); err != nil {
+		t.Fatal(err)
+	}
+	var hang atomic.Bool
+	moody := service.Func{
+		Meta: service.Info{Name: "moody", Category: "search"},
+		Fn: func(ctx context.Context, req service.Request) (service.Response, error) {
+			if hang.Load() {
+				<-ctx.Done()
+				return service.Response{}, fmt.Errorf("hung: %w: %w", service.ErrUnavailable, ctx.Err())
+			}
+			time.Sleep(2 * time.Millisecond)
+			return service.Response{Body: []byte("ok")}, nil
+		},
+	}
+	if err := client.Register(moody); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(core.NewAPI(client))
+	defer srv.Close()
+
+	invoke := func(svc, text string) int {
+		t.Helper()
+		body, _ := json.Marshal(map[string]any{
+			"service": svc,
+			"request": map[string]any{"op": "x", "text": text},
+		})
+		resp, err := http.Post(srv.URL+"/v1/invoke", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Trip the breaker with a scripted outage.
+	flaky.SetDown(true)
+	for i := 0; i < 2; i++ {
+		if got := invoke("flaky", "x"); got != http.StatusServiceUnavailable {
+			t.Fatalf("outage invoke %d -> HTTP %d, want 503", i, got)
+		}
+	}
+	before := flaky.Invocations()
+	if got := invoke("flaky", "x"); got != http.StatusServiceUnavailable {
+		t.Fatalf("tripped invoke -> HTTP %d, want 503", got)
+	}
+	if flaky.Invocations() != before {
+		t.Error("open breaker still reached the service")
+	}
+	bresp, err := http.Get(srv.URL + "/v1/breakers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var breakers struct {
+		Breakers []core.BreakerState `json:"breakers"`
+	}
+	if err := json.NewDecoder(bresp.Body).Decode(&breakers); err != nil {
+		t.Fatal(err)
+	}
+	_ = bresp.Body.Close()
+	if len(breakers.Breakers) != 1 || breakers.Breakers[0].Service != "flaky" || breakers.Breakers[0].State != "open" {
+		t.Errorf("/v1/breakers = %+v, want flaky open", breakers.Breakers)
+	}
+
+	// Recovery: after the cooldown the half-open probe closes the breaker.
+	flaky.SetDown(false)
+	time.Sleep(60 * time.Millisecond)
+	if got := invoke("flaky", "probe"); got != http.StatusOK {
+		t.Fatalf("probe -> HTTP %d, want 200", got)
+	}
+
+	// Train the moody service fast, then hang it: the predicted-latency
+	// deadline converts the hang into a 504 instead of a stuck request.
+	for i := 0; i < 4; i++ {
+		if got := invoke("moody", fmt.Sprintf("warm %d", i)); got != http.StatusOK {
+			t.Fatalf("warmup %d -> HTTP %d, want 200", i, got)
+		}
+	}
+	hang.Store(true)
+	start := time.Now()
+	if got := invoke("moody", "now hang"); got != http.StatusGatewayTimeout {
+		t.Fatalf("hung invoke -> HTTP %d, want 504", got)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("hung request took %v; deadline should have bounded it", elapsed)
 	}
 }

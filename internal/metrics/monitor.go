@@ -23,6 +23,10 @@ type Observation struct {
 	// Params are the latency parameters for this invocation (for example
 	// the size of an argument passed to the service). May be nil.
 	Params []float64
+	// Attempts is how many transport attempts the invocation made; values
+	// below 1 count as a single attempt. Attempts beyond the first
+	// accumulate in the monitor's retry counter.
+	Attempts int
 	// At is when the invocation completed. Zero means "now".
 	At time.Time
 }
@@ -32,6 +36,7 @@ type Snapshot struct {
 	Name         string
 	Count        uint64
 	Failures     uint64
+	Retries      uint64  // transport attempts beyond each invocation's first
 	Availability float64 // successes / total, 1 when no data
 	MeanLatency  time.Duration
 	EWMALatency  time.Duration
@@ -55,6 +60,7 @@ type Monitor struct {
 	ewma         *stats.EWMA      // smoothed latency in milliseconds
 	count        uint64
 	failures     uint64
+	retries      uint64
 	sumLatencyMS float64
 	minMS        float64
 	maxMS        float64
@@ -144,6 +150,9 @@ func (m *Monitor) Record(o Observation) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.count++
+	if o.Attempts > 1 {
+		m.retries += uint64(o.Attempts - 1)
+	}
 	if o.Err != nil {
 		m.failures++
 	} else {
@@ -189,6 +198,15 @@ func (m *Monitor) Count() uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.count
+}
+
+// Retries returns the total number of transport attempts beyond each
+// invocation's first — how much retrying the failure handler has done on
+// this service's behalf.
+func (m *Monitor) Retries() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.retries
 }
 
 // Availability returns the fraction of recorded invocations that succeeded,
@@ -306,6 +324,7 @@ func (m *Monitor) Snapshot() Snapshot {
 		Name:         m.name,
 		Count:        m.count,
 		Failures:     m.failures,
+		Retries:      m.retries,
 		MinLatency:   time.Duration(m.minMS * float64(time.Millisecond)),
 		MaxLatency:   time.Duration(m.maxMS * float64(time.Millisecond)),
 		QualityCount: m.qualityCount,

@@ -244,3 +244,17 @@ func TestRegistryConcurrent(t *testing.T) {
 		t.Errorf("total observations = %d, want 3200", total)
 	}
 }
+
+func TestRetriesAccumulateAttemptsBeyondFirst(t *testing.T) {
+	m := NewMonitor("svc")
+	m.Record(Observation{Latency: time.Millisecond, Attempts: 1})
+	m.Record(Observation{Latency: time.Millisecond, Attempts: 3})
+	m.Record(Observation{Latency: time.Millisecond, Attempts: 0}) // clamped to one attempt
+	m.Record(Observation{Latency: time.Millisecond, Err: errBoom, Attempts: 2})
+	if got := m.Retries(); got != 3 {
+		t.Errorf("Retries() = %d, want 3", got)
+	}
+	if snap := m.Snapshot(); snap.Retries != 3 {
+		t.Errorf("Snapshot().Retries = %d, want 3", snap.Retries)
+	}
+}
