@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench fmt
+.PHONY: build test check cover bench fmt
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,11 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-# bench runs the experiment benchmarks (E1–E15, A1–A4) from bench_test.go.
+# cover runs the full suite with per-package coverage percentages.
+cover:
+	$(GO) test -cover ./...
+
+# bench runs the experiment benchmarks (E1–E16, A1–A4) from bench_test.go.
 # Narrow with BENCH, e.g. `make bench BENCH=BenchmarkE1Caching`.
 BENCH ?= .
 bench:

@@ -20,7 +20,7 @@ import (
 )
 
 // Each benchmark regenerates one experiment table from DESIGN.md's
-// per-experiment index (E1-E15 reproduce paper claims; A1-A4 are design
+// per-experiment index (E1-E16 reproduce paper claims; A1-A4 are design
 // ablations). Benchmarks run the experiment at a reduced scale per
 // iteration; run cmd/benchmark for full-scale tables.
 //
@@ -68,6 +68,7 @@ func BenchmarkE12Convert(b *testing.B)        { benchExperiment(b, "E12") }
 func BenchmarkE13Disambig(b *testing.B)       { benchExperiment(b, "E13") }
 func BenchmarkE14Redundancy(b *testing.B)     { benchExperiment(b, "E14") }
 func BenchmarkE15Vision(b *testing.B)         { benchExperiment(b, "E15") }
+func BenchmarkE16Pipeline(b *testing.B)       { benchExperiment(b, "E16") }
 func BenchmarkA1CacheAblation(b *testing.B)   { benchExperiment(b, "A1") }
 func BenchmarkA2ScoreAblation(b *testing.B)   { benchExperiment(b, "A2") }
 func BenchmarkA3PredictAblation(b *testing.B) { benchExperiment(b, "A3") }
@@ -79,7 +80,8 @@ func TestEveryExperimentHasABenchmark(t *testing.T) {
 		"E1": true, "E2": true, "E3": true, "E4": true, "E5": true,
 		"E6": true, "E7": true, "E8": true, "E9": true, "E10": true,
 		"E11": true, "E12": true, "E13": true, "E14": true, "E15": true,
-		"A1": true, "A2": true, "A3": true, "A4": true,
+		"E16": true,
+		"A1":  true, "A2": true, "A3": true, "A4": true,
 	}
 	for _, e := range experiments.All() {
 		if !covered[e.ID] {

@@ -6,6 +6,7 @@
 //
 //	benchmark                  # run everything at full scale
 //	benchmark -run E5          # run one experiment
+//	benchmark -only E16        # same as -run
 //	benchmark -scale 0.2       # reduced scale (faster)
 //	benchmark -list            # list experiments
 package main
@@ -28,10 +29,17 @@ func main() {
 func run() error {
 	var (
 		runID = flag.String("run", "", "run only the experiment with this ID (e.g. E5)")
+		only  = flag.String("only", "", "alias for -run")
 		scale = flag.Float64("scale", 1.0, "workload scale factor (0 < scale <= 1)")
 		list  = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
+	if *only != "" {
+		if *runID != "" && *runID != *only {
+			return fmt.Errorf("-run %s and -only %s disagree; pass one", *runID, *only)
+		}
+		*runID = *only
+	}
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)

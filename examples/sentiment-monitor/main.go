@@ -2,29 +2,36 @@
 // been using the rich SDK to determine how favorably people, companies, and
 // other entities are represented on the Web" (§2.2).
 //
-// The pipeline: search the (synthetic) web for a topic, fetch each result's
-// HTML over real local HTTP, extract text, analyze every document with an
-// NLU service, and aggregate per-entity sentiment across all documents. The
-// fetched documents and the query are persisted with a timestamp so the
-// analysis can be re-run later without re-fetching (§2.2).
+// The Fig. 3 loop — search the (synthetic) web for a topic, fetch each
+// result's HTML over real local HTTP, extract text, analyze every document
+// with an NLU service, and aggregate per-entity sentiment — runs on the
+// streaming internal/pipeline engine with a bounded fetch/analyze fan-out.
+// Search and analysis go through the rich SDK client, so caching and
+// monitoring apply; the fetched documents, the query, and every analysis
+// are persisted so the run can be repeated without re-invoking anything
+// (§2.2).
 //
 //	go run ./examples/sentiment-monitor
 package main
 
 import (
+	"context"
 	"fmt"
-	"io"
 	"log"
-	"net/http"
 	"net/http/httptest"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/aggregate"
+	"repro/internal/core"
 	"repro/internal/docstore"
 	"repro/internal/lexicon"
 	"repro/internal/nlu"
+	"repro/internal/pipeline"
 	"repro/internal/search"
+	"repro/internal/service"
+	"repro/internal/simsvc"
 	"repro/internal/webcorpus"
 )
 
@@ -40,32 +47,35 @@ func run() error {
 	web := httptest.NewServer(corpus.Handler())
 	defer web.Close()
 
-	// A search engine over that web.
+	// A search engine over that web and an NLU engine, both registered on
+	// the rich SDK client as simulated remote services.
+	client, err := core.NewClient(core.Config{CacheTTL: time.Minute})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
 	index := search.BuildIndex(corpus)
-	engine := search.NewEngine("search-g", index, search.TuningG)
-
-	query := "market growth technology company"
-	results := engine.Search(query, search.Options{Limit: 25})
-	fmt.Printf("query %q returned %d documents\n", query, len(results))
-
-	// Fetch every hit's HTML over HTTP and extract analyzable text.
-	var saved []docstore.SavedDoc
-	for _, r := range results {
-		// The corpus URLs use a placeholder host; fetch via the test
-		// server by document ID.
-		page, err := fetch(web.URL + "/docs/" + r.DocID)
-		if err != nil {
-			return fmt.Errorf("fetch %s: %w", r.DocID, err)
-		}
-		saved = append(saved, docstore.SavedDoc{
-			URL:   r.URL,
-			Title: r.Title,
-			HTML:  page,
-			Text:  webcorpus.ExtractText(page),
-		})
+	sengine := search.NewEngine("search-g", index, search.TuningG)
+	sinfo := service.Info{Name: "search-g", Category: "search"}
+	if err := client.Register(simsvc.New(simsvc.Config{
+		Info:    sinfo,
+		Latency: simsvc.Constant{D: 2 * time.Millisecond},
+		Handler: sengine.Service(sinfo).Invoke,
+	}), core.WithCacheable()); err != nil {
+		return err
+	}
+	nluEngine := nlu.NewEngine(nlu.ProfileAlpha)
+	ninfo := service.Info{Name: "nlu-alpha", Category: "nlu"}
+	if err := client.Register(simsvc.New(simsvc.Config{
+		Info:    ninfo,
+		Latency: simsvc.Constant{D: 4 * time.Millisecond},
+		Handler: nluEngine.Service(ninfo).Invoke,
+	}), core.WithCacheable()); err != nil {
+		return err
 	}
 
-	// Persist the search snapshot: query + time + all documents.
+	// The documents and analyses persist here, so re-running the pipeline
+	// skips the services entirely.
 	dir, err := os.MkdirTemp("", "sentiment-monitor-*")
 	if err != nil {
 		return err
@@ -75,28 +85,27 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	searchID, err := store.SaveSearch(query, engine.Name(), saved)
+
+	// The whole loop as one pipeline run: search → fetch → analyze →
+	// aggregate → persist, with 8 fetch/analyze workers.
+	query := "market growth technology company"
+	res, err := pipeline.AnalysisConfig{
+		Client:   client,
+		Search:   "search-g",
+		NLU:      []string{"nlu-alpha"},
+		FetchURL: web.URL,
+		Limit:    25,
+		Workers:  8,
+		Store:    store,
+	}.Run(context.Background(), query)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("saved search snapshot %s (%d documents)\n", searchID, len(saved))
-
-	// Analyze every document (once — results are persisted too).
-	nluEngine := nlu.NewEngine(nlu.ProfileAlpha)
-	var analyses []nlu.Analysis
-	for _, doc := range saved {
-		a, cached, err := store.AnalyzeOnce(doc.Text, "nlu-alpha", nluEngine.Analyze)
-		if err != nil {
-			return err
-		}
-		_ = cached
-		analyses = append(analyses, a)
-	}
+	fmt.Printf("query %q returned %d documents\n", query, res.Hits)
+	fmt.Printf("saved search snapshot %s (%d documents)\n", res.SearchID, len(res.Docs))
 
 	// Aggregate: which entities dominate the topic, and how favorably is
 	// each represented?
-	entities := aggregate.Entities(analyses)
-	sentiments := aggregate.Sentiments(analyses)
 	byID := lexicon.ByID()
 	name := func(id string) string {
 		if e, ok := byID[id]; ok {
@@ -106,7 +115,7 @@ func run() error {
 	}
 
 	fmt.Println("\nmost-mentioned entities:")
-	for i, e := range entities {
+	for i, e := range res.Entities {
 		if i >= 8 {
 			break
 		}
@@ -115,7 +124,7 @@ func run() error {
 
 	// Keep only entities with enough evidence, then rank by favorability.
 	var solid []aggregate.EntitySentiment
-	for _, s := range sentiments {
+	for _, s := range res.Sentiments {
 		if s.Documents >= 2 {
 			solid = append(solid, s)
 		}
@@ -129,26 +138,35 @@ func run() error {
 
 	// Top keywords across the result set (not disambiguated, per §2.2).
 	fmt.Println("\ntop keywords:")
-	for _, kw := range aggregate.Keywords(analyses, 8) {
+	for _, kw := range res.Keywords[:min(8, len(res.Keywords))] {
 		fmt.Printf("  %-16s %d\n", kw.Text, kw.Count)
 	}
-	return nil
-}
 
-func fetch(url string) (string, error) {
-	resp, err := http.Get(url)
+	// The engine's per-stage view of the run.
+	fmt.Println("\npipeline stages:")
+	for _, s := range res.Stages {
+		fmt.Printf("  %-10s in %2d out %2d  mean %6s  p95 %6s\n",
+			s.Name, s.In, s.Out, s.Mean.Round(time.Microsecond), s.P95.Round(time.Microsecond))
+	}
+
+	// Re-run: the docstore satisfies every analysis, the SDK cache the
+	// search — no service is invoked again.
+	before := client.Monitor("nlu-alpha").Count()
+	again, err := pipeline.AnalysisConfig{
+		Client:   client,
+		Search:   "search-g",
+		NLU:      []string{"nlu-alpha"},
+		FetchURL: web.URL,
+		Limit:    25,
+		Workers:  8,
+		Store:    store,
+	}.Run(context.Background(), query)
 	if err != nil {
-		return "", err
+		return err
 	}
-	defer func() { _ = resp.Body.Close() }()
-	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("HTTP %d", resp.StatusCode)
-	}
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return "", err
-	}
-	return string(body), nil
+	fmt.Printf("\nre-run: %d/%d analyses served from the store, %d new NLU invocations\n",
+		again.CachedAnalyses, len(again.Docs), client.Monitor("nlu-alpha").Count()-before)
+	return nil
 }
 
 func renderBar(score float64) string {

@@ -1,0 +1,114 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nlu"
+)
+
+// The pipeline's aggregate stage can legitimately receive degenerate input
+// — every document skipped, a single engine, analyses that found nothing.
+// These tests pin down that the aggregators return empty (not nil-panic,
+// not NaN) results in those cases.
+
+func TestAggregateEmptyAnalyses(t *testing.T) {
+	for name, analyses := range map[string][]nlu.Analysis{
+		"nil slice":      nil,
+		"empty slice":    {},
+		"empty analyses": {{Engine: "a"}, {Engine: "b"}},
+	} {
+		if got := Entities(analyses); len(got) != 0 {
+			t.Errorf("%s: Entities = %+v, want empty", name, got)
+		}
+		if got := Sentiments(analyses); len(got) != 0 {
+			t.Errorf("%s: Sentiments = %+v, want empty", name, got)
+		}
+		if got := Keywords(analyses, 10); len(got) != 0 {
+			t.Errorf("%s: Keywords = %+v, want empty", name, got)
+		}
+		if got := Consensus(analyses); len(got) != 0 {
+			t.Errorf("%s: Consensus = %+v, want empty", name, got)
+		}
+	}
+}
+
+func TestConsensusSingleEngine(t *testing.T) {
+	analyses := []nlu.Analysis{{
+		Engine: "solo",
+		Entities: []nlu.Mention{
+			{EntityID: "kb:acme", Surface: "Acme"},
+		},
+	}}
+	cons := Consensus(analyses)
+	if len(cons) != 1 {
+		t.Fatalf("Consensus = %+v, want 1 entity", cons)
+	}
+	// One engine out of one consulted is full confidence, not NaN.
+	if cons[0].Confidence != 1 {
+		t.Errorf("Confidence = %v, want 1", cons[0].Confidence)
+	}
+	if got := FilterConfident(cons, 0.5); len(got) != 1 || got[0] != "kb:acme" {
+		t.Errorf("FilterConfident = %v", got)
+	}
+	// A single opinion is not a consensus: RateByConsensus must skip the
+	// document rather than rate the engine against itself.
+	if got := RateByConsensus([][]nlu.Analysis{analyses}, 0.5); len(got) != 0 {
+		t.Errorf("RateByConsensus = %+v, want no ratings", got)
+	}
+}
+
+func TestScoreDegenerate(t *testing.T) {
+	for name, tc := range map[string]struct {
+		predicted, truth []string
+	}{
+		"both empty":      {nil, nil},
+		"nothing found":   {nil, []string{"kb:acme"}},
+		"nothing to find": {[]string{"kb:acme"}, nil},
+	} {
+		prf := Score(tc.predicted, tc.truth)
+		for field, v := range map[string]float64{
+			"precision": prf.Precision, "recall": prf.Recall, "f1": prf.F1,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: %s = %v", name, field, v)
+			}
+		}
+	}
+	if prf := Score(nil, nil); prf.TP != 0 || prf.FP != 0 || prf.FN != 0 {
+		t.Errorf("empty Score counted something: %+v", prf)
+	}
+}
+
+func TestSentimentsNoNaN(t *testing.T) {
+	// All-docs-failed upstream means zero analyses reach the aggregator;
+	// a partially-failed run can contribute analyses with no entity
+	// sentiments at all. Neither may produce NaN means.
+	analyses := []nlu.Analysis{
+		{Engine: "a"},
+		{Engine: "a", EntitySentiments: []nlu.EntitySentiment{
+			{EntityID: "kb:acme", Score: 0.4, Mentions: 1},
+		}},
+	}
+	for _, s := range Sentiments(analyses) {
+		if math.IsNaN(s.MeanScore) {
+			t.Errorf("MeanScore for %s is NaN", s.EntityID)
+		}
+	}
+	if got := Sentiments(analyses); len(got) != 1 || got[0].Documents != 1 {
+		t.Errorf("Sentiments = %+v", got)
+	}
+}
+
+func TestKeywordsCapBeyondLength(t *testing.T) {
+	analyses := []nlu.Analysis{{
+		Engine:   "a",
+		Keywords: []nlu.Keyword{{Text: "market", Count: 2}},
+	}}
+	if got := Keywords(analyses, 10); len(got) != 1 {
+		t.Errorf("Keywords = %+v, want the single keyword", got)
+	}
+	if got := Keywords(analyses, 0); len(got) != 1 {
+		t.Errorf("Keywords with k=0 = %+v, want uncapped", got)
+	}
+}

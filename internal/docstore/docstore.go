@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/clock"
 	"repro/internal/nlu"
 )
@@ -52,10 +53,12 @@ type Meta struct {
 
 // Store is a directory-backed document store. Searches live under
 // dir/searches, analyses under dir/analyses. Safe for concurrent use by a
-// single process via write-to-temp-then-rename.
+// single process via write-to-temp-then-rename, with AnalyzeOnce calls for
+// the same (document, engine) single-flighted.
 type Store struct {
-	dir string
-	clk clock.Clock
+	dir    string
+	clk    clock.Clock
+	flight *cache.Group[analyzeRes]
 }
 
 // New opens (creating if needed) a store rooted at dir.
@@ -68,7 +71,7 @@ func New(dir string, clk clock.Clock) (*Store, error) {
 			return nil, fmt.Errorf("docstore: create %s: %w", sub, err)
 		}
 	}
-	return &Store{dir: dir, clk: clk}, nil
+	return &Store{dir: dir, clk: clk, flight: cache.NewGroup[analyzeRes]()}, nil
 }
 
 // SaveSearch persists a search and returns its ID. The ID is derived from
@@ -161,18 +164,52 @@ func (s *Store) LoadAnalysis(docText, engine string) (nlu.Analysis, bool, error)
 
 // AnalyzeOnce returns the stored analysis if present, otherwise runs
 // analyze, stores, and returns its result. cached reports whether the
-// store satisfied the request.
+// store satisfied the request without a fresh analysis. Concurrent callers
+// for the same (document, engine) are single-flighted: exactly one runs
+// analyze, the rest share its result.
 func (s *Store) AnalyzeOnce(docText, engine string, analyze func(string) nlu.Analysis) (a nlu.Analysis, cached bool, err error) {
-	if a, ok, err := s.LoadAnalysis(docText, engine); err != nil {
+	return s.AnalyzeOnceE(docText, engine, func(t string) (nlu.Analysis, error) {
+		return analyze(t), nil
+	})
+}
+
+// analyzeRes carries an AnalyzeOnce outcome through the single-flight
+// group.
+type analyzeRes struct {
+	a      nlu.Analysis
+	cached bool
+}
+
+// AnalyzeOnceE is AnalyzeOnce for analyzers that can fail — a remote NLU
+// service behind the SDK, for example. The analysis is persisted only on
+// success; failures are returned to every caller sharing the flight and
+// nothing is stored, so a later call retries.
+func (s *Store) AnalyzeOnceE(docText, engine string, analyze func(string) (nlu.Analysis, error)) (a nlu.Analysis, cached bool, err error) {
+	key := s.analysisPath(docText, engine)
+	ran := false
+	res, err, _ := s.flight.Do(key, func() (analyzeRes, error) {
+		ran = true
+		if a, ok, err := s.LoadAnalysis(docText, engine); err != nil {
+			return analyzeRes{}, err
+		} else if ok {
+			return analyzeRes{a: a, cached: true}, nil
+		}
+		a, err := analyze(docText)
+		if err != nil {
+			return analyzeRes{}, err
+		}
+		if err := s.SaveAnalysis(docText, engine, a); err != nil {
+			return analyzeRes{}, err
+		}
+		return analyzeRes{a: a}, nil
+	})
+	if err != nil {
 		return nlu.Analysis{}, false, err
-	} else if ok {
-		return a, true, nil
 	}
-	a = analyze(docText)
-	if err := s.SaveAnalysis(docText, engine, a); err != nil {
-		return nlu.Analysis{}, false, err
-	}
-	return a, false, nil
+	// A caller whose closure never ran joined another caller's flight: it
+	// did not trigger an analysis of its own, so from its point of view
+	// the store satisfied the request.
+	return res.a, res.cached || !ran, nil
 }
 
 func (s *Store) analysisPath(docText, engine string) string {

@@ -1,6 +1,9 @@
 package docstore
 
 import (
+	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -189,5 +192,78 @@ func TestStoreSurvivesReopen(t *testing.T) {
 	}
 	if _, ok, _ := s2.LoadAnalysis("doc", "e"); !ok {
 		t.Error("analysis lost across reopen")
+	}
+}
+
+// TestAnalyzeOnceConcurrent pins the single-flight guarantee: N concurrent
+// callers for the same cold (document, engine) key trigger exactly one
+// analysis, and every caller but the winner observes cached=true.
+func TestAnalyzeOnceConcurrent(t *testing.T) {
+	s, _ := newStore(t)
+	const callers = 16
+	var calls atomic.Int32
+	release := make(chan struct{})
+	analyze := func(text string) nlu.Analysis {
+		calls.Add(1)
+		<-release // hold the flight open so every caller piles on
+		return nlu.Analysis{Engine: "x", Sentiment: 0.5}
+	}
+
+	var wg sync.WaitGroup
+	var fresh atomic.Int32
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, cached, err := s.AnalyzeOnce("contended doc", "x", analyze)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !cached {
+				fresh.Add(1)
+			}
+		}()
+	}
+	// Wait until at least one caller is inside the flight, then let it run.
+	key := s.analysisPath("contended doc", "x")
+	for s.flight.Waiters(key) < 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if got := calls.Load(); got != 1 {
+		t.Errorf("analyze ran %d times under %d concurrent callers, want 1", got, callers)
+	}
+	if got := fresh.Load(); got != 1 {
+		t.Errorf("%d callers saw cached=false, want exactly 1", got)
+	}
+}
+
+// TestAnalyzeOnceEFailureNotStored checks that a failed analysis is not
+// persisted, so the next call retries instead of loading a phantom result.
+func TestAnalyzeOnceEFailureNotStored(t *testing.T) {
+	s, _ := newStore(t)
+	boom := errors.New("engine down")
+	_, _, err := s.AnalyzeOnceE("doc", "x", func(string) (nlu.Analysis, error) {
+		return nlu.Analysis{}, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	a, cached, err := s.AnalyzeOnceE("doc", "x", func(string) (nlu.Analysis, error) {
+		return nlu.Analysis{Engine: "x", Sentiment: 1}, nil
+	})
+	if err != nil || cached {
+		t.Fatalf("retry = (%v, %v), want fresh success", cached, err)
+	}
+	if a.Sentiment != 1 {
+		t.Errorf("Sentiment = %v, want 1", a.Sentiment)
 	}
 }

@@ -8,9 +8,12 @@ import (
 	"time"
 
 	"repro/internal/aggregate"
+	"repro/internal/core"
 	"repro/internal/docstore"
+	"repro/internal/failover"
 	"repro/internal/lexicon"
 	"repro/internal/nlu"
+	"repro/internal/pipeline"
 	"repro/internal/service"
 	"repro/internal/simsvc"
 	"repro/internal/spell"
@@ -27,16 +30,38 @@ type E6Row struct {
 
 // RunE6 analyzes a generated corpus with three NLU engine profiles and
 // compares each engine's entity quality against majority-vote consensus.
+// The analysis loop runs on the streaming pipeline engine; its order
+// preservation keeps every result aligned with its ground-truth document.
 func RunE6(scale Scale) ([]E6Row, Table, error) {
 	numDocs := scale.n(150)
 	corpus := webcorpus.Generate(webcorpus.Config{Seed: 99, NumDocs: numDocs})
-	engines := []*nlu.Engine{
-		nlu.NewEngine(nlu.ProfileAlpha),
-		nlu.NewEngine(nlu.ProfileBeta),
-		nlu.NewEngine(nlu.ProfileGamma),
+	client, err := core.NewClient(core.Config{})
+	if err != nil {
+		return nil, Table{}, err
 	}
+	defer client.Close()
+	names := []string{"nlu-alpha", "nlu-beta", "nlu-gamma"}
+	for _, p := range []nlu.Profile{nlu.ProfileAlpha, nlu.ProfileBeta, nlu.ProfileGamma} {
+		info := service.Info{Name: p.Name, Category: "nlu"}
+		if err := client.Register(nlu.NewEngine(p).Service(info)); err != nil {
+			return nil, Table{}, err
+		}
+	}
+	docs := make([]docstore.SavedDoc, len(corpus.Docs))
+	for i, d := range corpus.Docs {
+		docs[i] = docstore.SavedDoc{URL: d.URL, Title: d.Title, Text: d.Body}
+	}
+	res, err := pipeline.AnalysisConfig{
+		Client:  client,
+		NLU:     names,
+		Workers: 8,
+	}.RunDocs(context.Background(), "consensus corpus", docs)
+	if err != nil {
+		return nil, Table{}, err
+	}
+
 	sums := make(map[string]*aggregate.PRF)
-	for _, name := range []string{"nlu-alpha", "nlu-beta", "nlu-gamma", "consensus>=2/3"} {
+	for _, name := range append(append([]string{}, names...), "consensus>=2/3") {
 		sums[name] = &aggregate.PRF{}
 	}
 	addPRF := func(dst *aggregate.PRF, s aggregate.PRF) {
@@ -44,12 +69,11 @@ func RunE6(scale Scale) ([]E6Row, Table, error) {
 		dst.FP += s.FP
 		dst.FN += s.FN
 	}
-	for _, doc := range corpus.Docs {
-		analyses := make([]nlu.Analysis, len(engines))
-		for i, e := range engines {
-			analyses[i] = e.Analyze(doc.Body)
-			prf := aggregate.Score(aggregate.KnownOnly(analyses[i].EntityIDs()), doc.TrueEntities)
-			addPRF(sums[e.Profile().Name], prf)
+	for i, doc := range corpus.Docs {
+		analyses := res.PerDoc[i]
+		for j, name := range names {
+			prf := aggregate.Score(aggregate.KnownOnly(analyses[j].EntityIDs()), doc.TrueEntities)
+			addPRF(sums[name], prf)
 		}
 		cons := aggregate.Consensus(analyses)
 		voted := aggregate.KnownOnly(aggregate.FilterConfident(cons, 0.5))
@@ -99,9 +123,11 @@ type E7Row struct {
 	QuotaDenied int
 }
 
-// RunE7 analyzes the same document set three times. With the analysis store
-// only the first pass invokes the (quota-limited, slow) service; without it
-// the quota runs out mid-workload.
+// RunE7 analyzes the same document set three times through the analysis
+// pipeline. With the analysis store only the first pass invokes the
+// (quota-limited, slow) service; without it the quota runs out
+// mid-workload. Quota denials surface as skipped documents in the
+// pipeline's error accounting.
 func RunE7(scale Scale) ([]E7Row, Table, error) {
 	numDocs := scale.n(120)
 	corpus := webcorpus.Generate(webcorpus.Config{Seed: 5, NumDocs: numDocs})
@@ -115,6 +141,15 @@ func RunE7(scale Scale) ([]E7Row, Table, error) {
 			return engine.Analyze(req.Text).Encode()
 		},
 	})
+	client, err := core.NewClient(core.Config{})
+	if err != nil {
+		return nil, Table{}, err
+	}
+	defer client.Close()
+	// One attempt per call: retrying a quota denial would double-count it.
+	if err := client.Register(backend, core.WithRetry(failover.RetryPolicy{MaxAttempts: 1})); err != nil {
+		return nil, Table{}, err
+	}
 	dir, err := os.MkdirTemp("", "e7-docstore-*")
 	if err != nil {
 		return nil, Table{}, err
@@ -125,45 +160,34 @@ func RunE7(scale Scale) ([]E7Row, Table, error) {
 		return nil, Table{}, err
 	}
 
-	analyzeViaService := func(text string) (nlu.Analysis, error) {
-		resp, err := backend.Invoke(context.Background(), service.Request{Op: "analyze", Text: text})
-		if err != nil {
-			return nlu.Analysis{}, err
-		}
-		return nlu.DecodeAnalysis(resp)
+	docs := make([]docstore.SavedDoc, len(corpus.Docs))
+	for i, d := range corpus.Docs {
+		docs[i] = docstore.SavedDoc{URL: d.URL, Title: d.Title, Text: d.Body}
 	}
 	var rows []E7Row
 	for round := 1; round <= 3; round++ {
 		before := backend.Invocations()
-		cached := 0
-		denied := 0
 		start := time.Now()
-		for _, doc := range corpus.Docs {
-			a, ok, err := store.LoadAnalysis(doc.Body, "nlu-alpha")
-			if err != nil {
-				return nil, Table{}, err
-			}
-			if ok {
-				cached++
-				_ = a
-				continue
-			}
-			a, err = analyzeViaService(doc.Body)
-			if err != nil {
-				if errors.Is(err, service.ErrQuotaExceeded) {
-					denied++
-					continue
-				}
-				return nil, Table{}, err
-			}
-			if err := store.SaveAnalysis(doc.Body, "nlu-alpha", a); err != nil {
-				return nil, Table{}, err
+		res, err := pipeline.AnalysisConfig{
+			Client:         client,
+			NLU:            []string{"nlu-metered"},
+			Store:          store,
+			Workers:        4,
+			SkipFailedDocs: true,
+		}.RunDocs(context.Background(), "re-analysis", docs)
+		if err != nil {
+			return nil, Table{}, err
+		}
+		denied := 0
+		for _, skip := range res.Skipped {
+			if errors.Is(skip, service.ErrQuotaExceeded) {
+				denied++
 			}
 		}
 		rows = append(rows, E7Row{
 			Round:       round,
 			Invocations: backend.Invocations() - before,
-			Cached:      cached,
+			Cached:      res.CachedAnalyses,
 			Elapsed:     time.Since(start),
 			QuotaDenied: denied,
 		})

@@ -384,10 +384,50 @@ func TestE15VisionShape(t *testing.T) {
 	assertRenders(t, table)
 }
 
+func TestE16PipelineShape(t *testing.T) {
+	rows, table, err := RunE16(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %+v, want 4 cold widths + 1 warm repeat", rows)
+	}
+	for i, r := range rows {
+		if r.Docs == 0 {
+			t.Fatalf("row %d processed no documents: %+v", i, r)
+		}
+		if r.Docs != rows[0].Docs {
+			t.Errorf("row %d processed %d docs, row 0 processed %d", i, r.Docs, rows[0].Docs)
+		}
+	}
+	// Acceptance: with 4ms-latency services, 8 workers must beat 1 worker
+	// by well over the 2.5x floor (the latency dominates scheduling and
+	// race-detector overhead).
+	eight := rows[3]
+	if eight.Workers != 8 || eight.Speedup < 2.5 {
+		t.Errorf("8-worker speedup = %.2fx, want >= 2.5x (%+v)", eight.Speedup, eight)
+	}
+	// Cold rows invoke the backend once per doc; nothing is cached yet.
+	for _, r := range rows[:4] {
+		if r.ServiceCalls != int64(r.Docs) {
+			t.Errorf("%s: %d service calls for %d docs", r.Label, r.ServiceCalls, r.Docs)
+		}
+	}
+	// The warm repeat is answered from the SDK response cache.
+	warm := rows[4]
+	if warm.ServiceCalls != 0 {
+		t.Errorf("warm repeat made %d service calls, want 0", warm.ServiceCalls)
+	}
+	if warm.CacheHits == 0 {
+		t.Error("warm repeat recorded no cache hits")
+	}
+	assertRenders(t, table)
+}
+
 func TestRegistryComplete(t *testing.T) {
 	entries := All()
-	if len(entries) != 19 {
-		t.Errorf("registry has %d entries, want 19 (E1-E15 + A1-A4)", len(entries))
+	if len(entries) != 20 {
+		t.Errorf("registry has %d entries, want 20 (E1-E16 + A1-A4)", len(entries))
 	}
 	seen := map[string]bool{}
 	for _, e := range entries {

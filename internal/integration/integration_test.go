@@ -19,6 +19,7 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/lexicon"
 	"repro/internal/nlu"
+	"repro/internal/pipeline"
 	"repro/internal/predict"
 	"repro/internal/rdf"
 	"repro/internal/remotestore"
@@ -232,54 +233,34 @@ func TestSearchAnalyzeAggregateKBPipeline(t *testing.T) {
 	defer web.Close()
 	ctx := context.Background()
 
-	// Search via the SDK (cached, monitored).
-	resp, err := client.Invoke(ctx, "search-g", service.Request{
-		Op: "search", Query: "market technology growth",
-		Params: map[string]string{"limit": "10"},
-	})
+	// The knowledge base doubles as the pipeline's sentiment sink: the
+	// aggregated per-entity sentiment becomes RDF facts as the stream
+	// drains.
+	base, err := kb.New(kb.Config{Dir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
-	}
-	results, err := search.DecodeResults(resp)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(results.Results) == 0 {
-		t.Fatal("no search results")
 	}
 
-	// Fetch each hit over real HTTP and analyze with every NLU service.
-	var perDoc [][]nlu.Analysis
-	var flat []nlu.Analysis
-	for _, r := range results.Results {
-		hresp, err := http.Get(web.URL + "/docs/" + r.DocID)
-		if err != nil {
-			t.Fatal(err)
-		}
-		page, err := io.ReadAll(hresp.Body)
-		_ = hresp.Body.Close()
-		if err != nil {
-			t.Fatal(err)
-		}
-		text := webcorpus.ExtractText(string(page))
-		all, err := client.InvokeAll(ctx, "nlu", service.Request{Op: "analyze", Text: text})
-		if err != nil {
-			t.Fatal(err)
-		}
-		var analyses []nlu.Analysis
-		for _, res := range all {
-			if res.Err != nil {
-				t.Fatal(res.Err)
-			}
-			a, err := nlu.DecodeAnalysis(res.Response)
-			if err != nil {
-				t.Fatal(err)
-			}
-			analyses = append(analyses, a)
-		}
-		perDoc = append(perDoc, analyses)
-		flat = append(flat, analyses[0]) // best engine for aggregation
+	// Search via the SDK, fetch each hit over real HTTP, and analyze with
+	// every NLU service — the Fig. 3 loop, on the streaming engine with a
+	// bounded fan-out. Search and analysis calls stay cached and monitored
+	// because the pipeline invokes them through the same client.
+	res, err := pipeline.AnalysisConfig{
+		Client:     client,
+		Search:     "search-g",
+		NLU:        []string{"nlu-alpha", "nlu-beta", "nlu-gamma"},
+		FetchURL:   web.URL,
+		Limit:      10,
+		Workers:    4,
+		Sentiments: base.StoreWebSentiments,
+	}.Run(ctx, "market technology growth")
+	if err != nil {
+		t.Fatal(err)
 	}
+	if len(res.Docs) == 0 {
+		t.Fatal("no search results")
+	}
+	perDoc := res.PerDoc
 
 	// Consensus-based quality rating (paper §5 future work) feeds the
 	// SDK's quality scores.
@@ -299,25 +280,16 @@ func TestSearchAnalyzeAggregateKBPipeline(t *testing.T) {
 		t.Fatalf("ranked = %+v", ranked)
 	}
 
-	// Aggregate sentiment into the knowledge base as facts.
-	base, err := kb.New(kb.Config{Dir: t.TempDir()})
+	// The sink already turned the aggregated sentiment into facts.
+	if len(res.Sentiments) == 0 {
+		t.Fatal("no aggregated sentiments")
+	}
+	moods, err := base.Query("SELECT ?e ?m WHERE { ?e <kb:webSentiment> ?m }")
 	if err != nil {
 		t.Fatal(err)
 	}
-	sentiments := aggregate.Sentiments(flat)
-	if len(sentiments) == 0 {
-		t.Fatal("no aggregated sentiments")
-	}
-	for _, s := range sentiments {
-		mood := "neutral"
-		if s.MeanScore > 0.15 {
-			mood = "favorable"
-		} else if s.MeanScore < -0.15 {
-			mood = "unfavorable"
-		}
-		if err := base.AddFact(s.EntityID, "kb:webSentiment", mood); err != nil {
-			t.Fatal(err)
-		}
+	if len(moods.Rows) != len(res.Sentiments) {
+		t.Fatalf("sink stored %d webSentiment facts, want %d", len(moods.Rows), len(res.Sentiments))
 	}
 	// A user rule over the web-derived facts.
 	err = base.AddRule(rdf.Rule{
@@ -374,7 +346,7 @@ func TestSearchAnalyzeAggregateKBPipeline(t *testing.T) {
 	}
 
 	// Spell-check a note through the SDK for good measure.
-	resp, err = client.Invoke(ctx, "spell", service.Request{Op: "spellcheck", Text: "the markte improved"})
+	resp, err := client.Invoke(ctx, "spell", service.Request{Op: "spellcheck", Text: "the markte improved"})
 	if err != nil {
 		t.Fatal(err)
 	}

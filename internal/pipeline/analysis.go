@@ -1,0 +1,361 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/aggregate"
+	"repro/internal/core"
+	"repro/internal/docstore"
+	"repro/internal/metrics"
+	"repro/internal/nlu"
+	"repro/internal/search"
+	"repro/internal/service"
+	"repro/internal/webcorpus"
+)
+
+// AnalysisConfig wires the paper's canonical analytics workload — the
+// Fig. 3/5 loop query → search → fetch documents → NLU-analyze →
+// aggregate → persist → knowledge-base sink — onto the streaming engine.
+// Search and analysis go through the rich SDK's core.Client, so caching,
+// circuit breaking, quotas, deadlines, and monitoring all apply to every
+// call the pipeline makes.
+type AnalysisConfig struct {
+	// Client is the rich SDK client the pipeline invokes services
+	// through. Required.
+	Client *core.Client
+	// Search is the name of a search service registered on Client.
+	// Required for Run; unused by RunDocs.
+	Search string
+	// NLU lists the NLU services (registered on Client) that analyze
+	// every document. The first is the primary engine used for
+	// aggregation; the rest feed per-document consensus. Required.
+	NLU []string
+	// FetchURL is the base URL documents are fetched from over HTTP
+	// (document ID appended to FetchURL + "/docs/"). Required for Run.
+	FetchURL string
+	// HTTPClient performs document fetches. Nil means
+	// http.DefaultClient.
+	HTTPClient *http.Client
+	// Limit caps search results. Values < 1 mean 10.
+	Limit int
+	// Workers is the fetch/analyze fan-out width. Values < 1 mean 4.
+	Workers int
+	// Store, when non-nil, persists the search snapshot (query + time +
+	// documents) and every analysis so re-runs skip the services
+	// entirely (paper §2.2).
+	Store *docstore.Store
+	// SkipFailedDocs selects the Skip error policy for the fetch and
+	// analyze stages: a document that cannot be fetched or analyzed is
+	// dropped (and counted) instead of aborting the run.
+	SkipFailedDocs bool
+	// FetchRetries / AnalyzeRetries grant failing items extra attempts
+	// before the error policy applies.
+	FetchRetries   int
+	AnalyzeRetries int
+	// NoCache bypasses the SDK response cache for search and analysis
+	// calls (cold-path measurements).
+	NoCache bool
+	// Sentiments, when non-nil, receives the aggregated per-entity
+	// sentiment after the stream drains — the pipeline's knowledge-base
+	// sink (kb.StoreWebSentiments turns them into RDF facts).
+	Sentiments func(ctx context.Context, sentiments []aggregate.EntitySentiment) error
+	// Metrics, when non-nil, receives per-stage latency monitors in
+	// place of the pipeline's private registry.
+	Metrics *metrics.Registry
+}
+
+// DocResult is one document's trip through the pipeline.
+type DocResult struct {
+	// Index is the document's position in the source stream (search
+	// rank for Run, slice index for RunDocs), stable across skips.
+	Index int
+	// Doc is the fetched document.
+	Doc docstore.SavedDoc
+	// Analyses holds one analysis per configured NLU service, in
+	// AnalysisConfig.NLU order.
+	Analyses []nlu.Analysis
+	// Cached counts how many of those analyses the docstore satisfied
+	// without invoking a service.
+	Cached int
+}
+
+// Primary returns the primary engine's analysis.
+func (d DocResult) Primary() nlu.Analysis { return d.Analyses[0] }
+
+// AnalysisResult is one pipeline run's full outcome.
+type AnalysisResult struct {
+	// Query is what was searched for (Run) or the label given to
+	// RunDocs.
+	Query string
+	// Hits is how many documents the search returned (Run) or was
+	// given (RunDocs); len(Docs) can be smaller when SkipFailedDocs
+	// dropped some.
+	Hits int
+	// SearchID is the docstore snapshot ID ("" without a Store).
+	SearchID string
+	// Docs are the analyzed documents in stream order.
+	Docs []DocResult
+	// Analyses are the primary-engine analyses, one per doc.
+	Analyses []nlu.Analysis
+	// PerDoc are all engines' analyses per doc (consensus input).
+	PerDoc [][]nlu.Analysis
+	// Entities, Sentiments, Keywords are the Fig. 3 aggregates over the
+	// primary analyses.
+	Entities   []aggregate.EntityCount
+	Sentiments []aggregate.EntitySentiment
+	Keywords   []nlu.Keyword
+	// CachedAnalyses counts analyses served from the docstore.
+	CachedAnalyses int
+	// Stages are the engine's per-stage counters and latency summaries.
+	Stages []StageStats
+	// Skipped holds the errors behind dropped documents (bounded).
+	Skipped []error
+}
+
+func (cfg *AnalysisConfig) fill() error {
+	if cfg.Client == nil {
+		return fmt.Errorf("pipeline: AnalysisConfig.Client is required")
+	}
+	if len(cfg.NLU) == 0 {
+		return fmt.Errorf("pipeline: AnalysisConfig.NLU is empty")
+	}
+	if cfg.Limit < 1 {
+		cfg.Limit = 10
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 4
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	return nil
+}
+
+func (cfg *AnalysisConfig) policy() Policy {
+	if cfg.SkipFailedDocs {
+		return Skip
+	}
+	return Abort
+}
+
+func (cfg *AnalysisConfig) invokeOpts() []core.InvokeOption {
+	if cfg.NoCache {
+		return []core.InvokeOption{core.NoCache()}
+	}
+	return nil
+}
+
+// Run executes the full pipeline for one query: search through the SDK,
+// fetch every hit over HTTP, analyze each document with every configured
+// NLU service, aggregate, persist, and feed the sentiment sink.
+func (cfg AnalysisConfig) Run(ctx context.Context, query string) (*AnalysisResult, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if cfg.Search == "" {
+		return nil, fmt.Errorf("pipeline: AnalysisConfig.Search is required")
+	}
+	if cfg.FetchURL == "" {
+		return nil, fmt.Errorf("pipeline: AnalysisConfig.FetchURL is required")
+	}
+
+	p := cfg.newPipeline(ctx)
+	hits := 0
+	// Stage 1 — search: one SDK invocation, fanned out into a stream of
+	// (rank, result) items.
+	results := SourceFunc(p, "search", func(ctx context.Context, emit func(indexed[search.Result]) error) error {
+		req := service.Request{
+			Op:     "search",
+			Query:  query,
+			Params: map[string]string{"limit": strconv.Itoa(cfg.Limit)},
+		}
+		resp, err := cfg.Client.Invoke(ctx, cfg.Search, req, cfg.invokeOpts()...)
+		if err != nil {
+			return fmt.Errorf("search %q: %w", query, err)
+		}
+		found, err := search.DecodeResults(resp)
+		if err != nil {
+			return err
+		}
+		hits = len(found.Results)
+		for i, r := range found.Results {
+			if err := emit(indexed[search.Result]{i, r}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	// Stage 2 — fetch: each hit's page over real HTTP, text extracted.
+	base := strings.TrimSuffix(cfg.FetchURL, "/")
+	docs := Via(results, Stage[indexed[search.Result], indexed[docstore.SavedDoc]]{
+		Name:    "fetch",
+		Workers: cfg.Workers,
+		Policy:  cfg.policy(),
+		Retries: cfg.FetchRetries,
+		Fn: func(ctx context.Context, item indexed[search.Result]) (indexed[docstore.SavedDoc], error) {
+			page, err := cfg.fetch(ctx, base+"/docs/"+item.v.DocID)
+			if err != nil {
+				return indexed[docstore.SavedDoc]{}, fmt.Errorf("fetch %s: %w", item.v.DocID, err)
+			}
+			return indexed[docstore.SavedDoc]{item.i, docstore.SavedDoc{
+				URL:   item.v.URL,
+				Title: item.v.Title,
+				HTML:  page,
+				Text:  webcorpus.ExtractText(page),
+			}}, nil
+		},
+	})
+
+	res, err := cfg.finish(ctx, p, docs, query, &hits)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Store != nil {
+		saved := make([]docstore.SavedDoc, len(res.Docs))
+		for i, d := range res.Docs {
+			saved[i] = d.Doc
+		}
+		id, err := cfg.Store.SaveSearch(query, cfg.Search, saved)
+		if err != nil {
+			return nil, err
+		}
+		res.SearchID = id
+	}
+	return res, nil
+}
+
+// RunDocs executes the analyze → aggregate → sink tail of the pipeline
+// over already-fetched documents — re-analysis of a stored search
+// snapshot, or a corpus that never came from a search.
+func (cfg AnalysisConfig) RunDocs(ctx context.Context, label string, docs []docstore.SavedDoc) (*AnalysisResult, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	p := cfg.newPipeline(ctx)
+	items := make([]indexed[docstore.SavedDoc], len(docs))
+	for i, d := range docs {
+		items[i] = indexed[docstore.SavedDoc]{i, d}
+	}
+	hits := len(docs)
+	flow := Source(p, "docs", items)
+	return cfg.finish(ctx, p, flow, label, &hits)
+}
+
+func (cfg *AnalysisConfig) newPipeline(ctx context.Context) *Pipeline {
+	var opts []Option
+	if cfg.Metrics != nil {
+		opts = append(opts, WithMetrics(cfg.Metrics))
+	}
+	return New(ctx, opts...)
+}
+
+// finish wires the shared tail — analyze, aggregate, persist, sink — onto
+// a flow of indexed documents and runs the pipeline to completion.
+func (cfg *AnalysisConfig) finish(ctx context.Context, p *Pipeline, docs *Flow[indexed[docstore.SavedDoc]], query string, hits *int) (*AnalysisResult, error) {
+	// Stage 3 — analyze: every document through every NLU service, via
+	// the SDK (and the docstore's analyze-once guard when configured).
+	analyzed := Via(docs, Stage[indexed[docstore.SavedDoc], DocResult]{
+		Name:    "analyze",
+		Workers: cfg.Workers,
+		Policy:  cfg.policy(),
+		Retries: cfg.AnalyzeRetries,
+		Fn: func(ctx context.Context, item indexed[docstore.SavedDoc]) (DocResult, error) {
+			analyses := make([]nlu.Analysis, 0, len(cfg.NLU))
+			cached := 0
+			for _, name := range cfg.NLU {
+				a, fromStore, err := cfg.analyzeOne(ctx, name, item.v.Text)
+				if err != nil {
+					return DocResult{}, fmt.Errorf("analyze %s with %s: %w", item.v.URL, name, err)
+				}
+				if fromStore {
+					cached++
+				}
+				analyses = append(analyses, a)
+			}
+			return DocResult{Index: item.i, Doc: item.v, Analyses: analyses, Cached: cached}, nil
+		},
+	})
+
+	// Stage 4 — aggregate: the terminal collector; cross-document
+	// aggregation itself needs the whole stream, so it runs on the
+	// collected results below.
+	col := Collect(analyzed, "aggregate")
+	if err := p.Wait(); err != nil {
+		return nil, err
+	}
+
+	res := &AnalysisResult{
+		Query:   query,
+		Hits:    *hits,
+		Docs:    col.Items(),
+		Stages:  p.Stats(),
+		Skipped: p.SkippedErrors(),
+	}
+	for _, d := range res.Docs {
+		res.Analyses = append(res.Analyses, d.Primary())
+		res.PerDoc = append(res.PerDoc, d.Analyses)
+		res.CachedAnalyses += d.Cached
+	}
+	res.Entities = aggregate.Entities(res.Analyses)
+	res.Sentiments = aggregate.Sentiments(res.Analyses)
+	res.Keywords = aggregate.Keywords(res.Analyses, 10)
+	if cfg.Sentiments != nil {
+		if err := cfg.Sentiments(ctx, res.Sentiments); err != nil {
+			return nil, fmt.Errorf("pipeline: sentiment sink: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// analyzeOne analyzes text with one service, preferring the docstore's
+// persisted result when a Store is configured.
+func (cfg *AnalysisConfig) analyzeOne(ctx context.Context, name, text string) (nlu.Analysis, bool, error) {
+	if cfg.Store != nil {
+		return cfg.Store.AnalyzeOnceE(text, name, func(t string) (nlu.Analysis, error) {
+			return cfg.invokeNLU(ctx, name, t)
+		})
+	}
+	a, err := cfg.invokeNLU(ctx, name, text)
+	return a, false, err
+}
+
+func (cfg *AnalysisConfig) invokeNLU(ctx context.Context, name, text string) (nlu.Analysis, error) {
+	resp, err := cfg.Client.Invoke(ctx, name, service.Request{Op: "analyze", Text: text}, cfg.invokeOpts()...)
+	if err != nil {
+		return nlu.Analysis{}, err
+	}
+	return nlu.DecodeAnalysis(resp)
+}
+
+func (cfg *AnalysisConfig) fetch(ctx context.Context, url string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := cfg.HTTPClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}
+
+// indexed pairs an item with its stable position in the source stream, so
+// results can be mapped back to inputs even after skips.
+type indexed[T any] struct {
+	i int
+	v T
+}

@@ -1,0 +1,309 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/aggregate"
+	"repro/internal/core"
+	"repro/internal/docstore"
+	"repro/internal/nlu"
+	"repro/internal/search"
+	"repro/internal/service"
+	"repro/internal/simsvc"
+	"repro/internal/webcorpus"
+)
+
+// newAnalysisEnv builds the canonical test environment for the analysis
+// pipeline: a corpus served over HTTP, one search engine and three NLU
+// engines registered on a rich SDK client (tiny latencies for test speed).
+func newAnalysisEnv(t *testing.T) (*core.Client, *httptest.Server) {
+	t.Helper()
+	client, err := core.NewClient(core.Config{CacheTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+
+	corpus := webcorpus.Generate(webcorpus.Config{Seed: 42, NumDocs: 80})
+	index := search.BuildIndex(corpus)
+	sengine := search.NewEngine("search-g", index, search.TuningG)
+	sinfo := service.Info{Name: "search-g", Category: "search"}
+	if err := client.Register(simsvc.New(simsvc.Config{
+		Info:    sinfo,
+		Latency: simsvc.Constant{D: time.Millisecond},
+		Handler: sengine.Service(sinfo).Invoke,
+	}), core.WithCacheable()); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range []nlu.Profile{nlu.ProfileAlpha, nlu.ProfileBeta, nlu.ProfileGamma} {
+		engine := nlu.NewEngine(p)
+		info := service.Info{Name: p.Name, Category: "nlu"}
+		if err := client.Register(simsvc.New(simsvc.Config{
+			Info:    info,
+			Latency: simsvc.Constant{D: time.Millisecond},
+			Seed:    int64(i),
+			Handler: engine.Service(info).Invoke,
+		}), core.WithCacheable()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	web := httptest.NewServer(corpus.Handler())
+	t.Cleanup(web.Close)
+	return client, web
+}
+
+func TestAnalysisRunEndToEnd(t *testing.T) {
+	client, web := newAnalysisEnv(t)
+	cfg := AnalysisConfig{
+		Client:   client,
+		Search:   "search-g",
+		NLU:      []string{"nlu-alpha", "nlu-beta", "nlu-gamma"},
+		FetchURL: web.URL,
+		Limit:    8,
+		Workers:  4,
+	}
+	res, err := cfg.Run(context.Background(), "market technology growth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits == 0 || len(res.Docs) != res.Hits {
+		t.Fatalf("hits = %d, docs = %d", res.Hits, len(res.Docs))
+	}
+	// Stream order survives the parallel fetch/analyze fan-out.
+	for i, d := range res.Docs {
+		if d.Index != i {
+			t.Fatalf("docs out of order: Docs[%d].Index = %d", i, d.Index)
+		}
+		if len(d.Analyses) != 3 {
+			t.Fatalf("Docs[%d] has %d analyses, want 3", i, len(d.Analyses))
+		}
+		if d.Doc.Text == "" {
+			t.Fatalf("Docs[%d] has empty extracted text", i)
+		}
+	}
+	if len(res.Analyses) != len(res.Docs) || len(res.PerDoc) != len(res.Docs) {
+		t.Fatalf("Analyses = %d, PerDoc = %d, want %d each", len(res.Analyses), len(res.PerDoc), len(res.Docs))
+	}
+	if len(res.Entities) == 0 || len(res.Sentiments) == 0 {
+		t.Error("aggregates are empty")
+	}
+	// Every stage reported counters; search emitted as many as fetch/analyze
+	// consumed.
+	if len(res.Stages) != 4 {
+		t.Fatalf("Stages = %+v, want 4 stages", res.Stages)
+	}
+	for _, s := range res.Stages {
+		if s.Out == 0 {
+			t.Errorf("stage %s processed nothing", s.Name)
+		}
+	}
+	// The SDK saw every invocation: 1 search + hits×3 analyses.
+	if got := client.Monitor("search-g").Count(); got != 1 {
+		t.Errorf("search-g monitored count = %d, want 1", got)
+	}
+	for _, name := range cfg.NLU {
+		if got := client.Monitor(name).Count(); got != uint64(res.Hits) {
+			t.Errorf("%s monitored count = %d, want %d", name, got, res.Hits)
+		}
+	}
+}
+
+func TestAnalysisRunPersistsAndReusesStore(t *testing.T) {
+	client, web := newAnalysisEnv(t)
+	store, err := docstore.New(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := AnalysisConfig{
+		Client:   client,
+		Search:   "search-g",
+		NLU:      []string{"nlu-alpha"},
+		FetchURL: web.URL,
+		Limit:    5,
+		Store:    store,
+		NoCache:  true, // isolate docstore reuse from the SDK response cache
+	}
+	ctx := context.Background()
+	first, err := cfg.Run(ctx, "company revenue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.SearchID == "" {
+		t.Fatal("no docstore snapshot ID")
+	}
+	if first.CachedAnalyses != 0 {
+		t.Errorf("cold run reported %d cached analyses", first.CachedAnalyses)
+	}
+	saved, err := store.LoadSearch(first.SearchID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(saved.Docs) != len(first.Docs) {
+		t.Errorf("snapshot has %d docs, run produced %d", len(saved.Docs), len(first.Docs))
+	}
+
+	// Re-running analyzes nothing: every analysis comes from the store.
+	before := client.Monitor("nlu-alpha").Count()
+	second, err := cfg.Run(ctx, "company revenue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CachedAnalyses != len(second.Docs) {
+		t.Errorf("warm run cached %d of %d analyses", second.CachedAnalyses, len(second.Docs))
+	}
+	if after := client.Monitor("nlu-alpha").Count(); after != before {
+		t.Errorf("warm run still invoked the NLU service %d times", after-before)
+	}
+}
+
+func TestAnalysisRunDocs(t *testing.T) {
+	client, _ := newAnalysisEnv(t)
+	docs := []docstore.SavedDoc{
+		{URL: "u1", Title: "t1", Text: "Acme Corporation reported excellent growth in Germany."},
+		{URL: "u2", Title: "t2", Text: "Globex suffered a terrible decline in France."},
+	}
+	cfg := AnalysisConfig{
+		Client: client,
+		NLU:    []string{"nlu-alpha", "nlu-beta"},
+	}
+	res, err := cfg.RunDocs(context.Background(), "prepared", docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Query != "prepared" || res.Hits != 2 || len(res.Docs) != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Docs[0].Doc.URL != "u1" || res.Docs[1].Doc.URL != "u2" {
+		t.Error("RunDocs reordered its input")
+	}
+	if len(res.PerDoc[0]) != 2 {
+		t.Errorf("PerDoc[0] = %d analyses, want 2", len(res.PerDoc[0]))
+	}
+}
+
+func TestAnalysisSkipFailedDocs(t *testing.T) {
+	client, web := newAnalysisEnv(t)
+	// A proxy in front of the corpus that refuses every other document.
+	flip := 0
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		flip++
+		if flip%2 == 0 {
+			http.Error(w, "gone", http.StatusNotFound)
+			return
+		}
+		resp, err := http.Get(web.URL + r.URL.Path)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+	}))
+	defer proxy.Close()
+
+	cfg := AnalysisConfig{
+		Client:         client,
+		Search:         "search-g",
+		NLU:            []string{"nlu-alpha"},
+		FetchURL:       proxy.URL,
+		Limit:          6,
+		Workers:        1, // deterministic alternation through the proxy
+		SkipFailedDocs: true,
+	}
+	res, err := cfg.Run(context.Background(), "market technology growth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Docs) >= res.Hits {
+		t.Fatalf("docs = %d, hits = %d: nothing was skipped", len(res.Docs), res.Hits)
+	}
+	if len(res.Skipped) == 0 {
+		t.Fatal("skip policy recorded no errors")
+	}
+	for _, err := range res.Skipped {
+		if !strings.Contains(err.Error(), "HTTP 404") {
+			t.Errorf("unexpected skip cause: %v", err)
+		}
+	}
+	// Surviving docs keep their original search ranks.
+	last := -1
+	for _, d := range res.Docs {
+		if d.Index <= last {
+			t.Fatalf("indices not strictly increasing: %d after %d", d.Index, last)
+		}
+		last = d.Index
+	}
+}
+
+func TestAnalysisAbortOnFetchFailure(t *testing.T) {
+	client, _ := newAnalysisEnv(t)
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+	cfg := AnalysisConfig{
+		Client:   client,
+		Search:   "search-g",
+		NLU:      []string{"nlu-alpha"},
+		FetchURL: dead.URL,
+		Limit:    3,
+	}
+	_, err := cfg.Run(context.Background(), "market technology growth")
+	if err == nil || !strings.Contains(err.Error(), "fetch") {
+		t.Fatalf("err = %v, want fetch abort", err)
+	}
+}
+
+func TestAnalysisSentimentSink(t *testing.T) {
+	client, web := newAnalysisEnv(t)
+	var sunk []aggregate.EntitySentiment
+	cfg := AnalysisConfig{
+		Client:   client,
+		Search:   "search-g",
+		NLU:      []string{"nlu-alpha"},
+		FetchURL: web.URL,
+		Limit:    5,
+		Sentiments: func(_ context.Context, s []aggregate.EntitySentiment) error {
+			sunk = s
+			return nil
+		},
+	}
+	res, err := cfg.Run(context.Background(), "market technology growth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sunk) != len(res.Sentiments) {
+		t.Fatalf("sink received %d sentiments, result has %d", len(sunk), len(res.Sentiments))
+	}
+
+	// A failing sink aborts the run.
+	boom := errors.New("kb down")
+	cfg.Sentiments = func(context.Context, []aggregate.EntitySentiment) error { return boom }
+	cfg.NoCache = true
+	if _, err := cfg.Run(context.Background(), "market technology growth"); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want sink failure", err)
+	}
+}
+
+func TestAnalysisConfigValidation(t *testing.T) {
+	client, _ := newAnalysisEnv(t)
+	for name, cfg := range map[string]AnalysisConfig{
+		"no client": {Search: "search-g", NLU: []string{"nlu-alpha"}, FetchURL: "http://x"},
+		"no nlu":    {Client: client, Search: "search-g", FetchURL: "http://x"},
+		"no search": {Client: client, NLU: []string{"nlu-alpha"}, FetchURL: "http://x"},
+		"no fetch":  {Client: client, Search: "search-g", NLU: []string{"nlu-alpha"}},
+	} {
+		if _, err := cfg.Run(context.Background(), "q"); err == nil {
+			t.Errorf("%s: Run succeeded, want config error", name)
+		}
+	}
+}
