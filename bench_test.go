@@ -1,8 +1,12 @@
 package repro_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -17,6 +21,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/predict"
 	"repro/internal/service"
+	"repro/internal/trace"
 )
 
 // Each benchmark regenerates one experiment table from DESIGN.md's
@@ -339,5 +344,146 @@ func TestPipelineOverheadCacheHit(t *testing.T) {
 		perOp(pTotal), perOp(sTotal), overhead*100)
 	if overhead > 0.05 {
 		t.Errorf("middleware pipeline costs %.2f%% over the seed fast path, budget is 5%%", overhead*100)
+	}
+}
+
+// newTracedBenchClient is newBenchClient with the given tracer wired into
+// the middleware chain (nil disables tracing entirely).
+func newTracedBenchClient(tb testing.TB, tr *trace.Tracer) *core.Client {
+	tb.Helper()
+	client, err := core.NewClient(core.Config{Tracer: tr})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(client.Close)
+	if err := client.Register(benchService(), core.WithCacheable()); err != nil {
+		tb.Fatal(err)
+	}
+	return client
+}
+
+// newFacadeCacheHit builds the HTTP façade over a cache-primed client
+// (optionally traced) and returns a closure performing one complete
+// in-process POST /v1/invoke round trip: JSON decode, the middleware
+// chain's cache-hit path, JSON encode.
+func newFacadeCacheHit(tb testing.TB, tr *trace.Tracer) func() error {
+	tb.Helper()
+	client := newTracedBenchClient(tb, tr)
+	api := core.NewAPI(client)
+	payload, err := json.Marshal(map[string]any{
+		"service": "bench",
+		"request": service.Request{Op: "analyze", Text: benchDoc},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	do := func() error {
+		req := httptest.NewRequest(http.MethodPost, "/v1/invoke", bytes.NewReader(payload))
+		rec := httptest.NewRecorder()
+		api.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			return fmt.Errorf("invoke: HTTP %d: %s", rec.Code, rec.Body)
+		}
+		return nil
+	}
+	if err := do(); err != nil { // prime the response cache
+		tb.Fatal(err)
+	}
+	return do
+}
+
+// BenchmarkTraceOverhead exposes the tracing tax at both granularities.
+// The façade pair is what TestTraceOverheadFacade guards; the client pair
+// shows the raw per-invocation span cost against a ~600ns baseline, where
+// even two timestamp reads register as whole percents — which is why the
+// enforced budget is end-to-end, not on the bare client. The "disabled"
+// variant registers a tracer with sample rate 0: the client omits the
+// TraceStage entirely, so it must match "untraced" within noise.
+func BenchmarkTraceOverhead(b *testing.B) {
+	req := service.Request{Op: "analyze", Text: benchDoc}
+	clientBench := func(tr *trace.Tracer) func(*testing.B) {
+		return func(b *testing.B) {
+			client := newTracedBenchClient(b, tr)
+			ctx := context.Background()
+			if _, err := client.Invoke(ctx, "bench", req); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Invoke(ctx, "bench", req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	facadeBench := func(tr *trace.Tracer) func(*testing.B) {
+		return func(b *testing.B) {
+			do := newFacadeCacheHit(b, tr)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := do(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	tr := trace.New()
+	defer tr.Close()
+	off := trace.New(trace.WithSampleRate(0))
+	defer off.Close()
+	b.Run("client/untraced", clientBench(nil))
+	b.Run("client/disabled", clientBench(off))
+	b.Run("client/traced", clientBench(tr))
+	b.Run("facade/untraced", facadeBench(nil))
+	b.Run("facade/traced", facadeBench(tr))
+}
+
+// TestTraceOverheadFacade is the observability overhead guard: with 100%
+// sampling, tracing may add at most 5% to a cache-hit invocation measured
+// end-to-end through the HTTP façade — the smallest unit of work a caller
+// of the SDK-as-a-service can buy. The same interleaved-batch design as
+// TestPipelineOverheadCacheHit cancels machine drift; GC stays enabled
+// here (each round trip allocates request/recorder/JSON state on both
+// sides equally) with forced collections between batches.
+func TestTraceOverheadFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("timing guard skipped under the race detector: instrumentation distorts relative costs")
+	}
+	tr := trace.New()
+	t.Cleanup(tr.Close)
+	traced := newFacadeCacheHit(t, tr)
+	plain := newFacadeCacheHit(t, nil)
+	batch := func(do func() error) time.Duration {
+		const iters = 400
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := do(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	for i := 0; i < 3; i++ { // settle caches and branch predictors
+		batch(traced)
+		batch(plain)
+	}
+	var tTotal, pTotal time.Duration
+	const batches = 60
+	for b := 0; b < batches; b++ {
+		if b%8 == 0 {
+			runtime.GC()
+		}
+		tTotal += batch(traced)
+		pTotal += batch(plain)
+	}
+	overhead := float64(tTotal-pTotal) / float64(pTotal)
+	perOp := func(d time.Duration) time.Duration { return d / (batches * 400) }
+	t.Logf("facade cache hit: traced %v/op, untraced %v/op, overhead %.2f%%",
+		perOp(tTotal), perOp(pTotal), overhead*100)
+	if overhead > 0.05 {
+		t.Errorf("tracing at 100%% sampling costs %.2f%% end-to-end, budget is 5%%", overhead*100)
 	}
 }

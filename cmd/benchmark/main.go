@@ -14,7 +14,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -57,11 +59,19 @@ func run() error {
 		}
 		entries = []experiments.Entry{entry}
 	}
+	// Progress events go to stderr as structured JSON so a long run can be
+	// followed (or machine-parsed) without polluting the result tables on
+	// stdout.
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	for _, e := range entries {
+		logger.Info("experiment starting", "id", e.ID, "title", e.Title, "scale", *scale)
+		start := time.Now()
 		table, err := e.Run(experiments.Scale(*scale))
 		if err != nil {
+			logger.Error("experiment failed", "id", e.ID, "error", err)
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
+		logger.Info("experiment finished", "id", e.ID, "duration", time.Since(start).Round(time.Millisecond))
 		if err := table.Write(os.Stdout); err != nil {
 			return err
 		}

@@ -12,7 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"time"
@@ -48,7 +48,8 @@ func run() error {
 	}
 	srv := remotestore.NewServer(store)
 	srv.SetLatency(*latency)
-	log.Printf("cloud store listening on %s (latency %v, file %q)", *addr, *latency, *file)
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	logger.Info("cloud store listening", "addr", *addr, "latency", *latency, "file", *file)
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

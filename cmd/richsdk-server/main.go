@@ -6,19 +6,25 @@
 //
 // Usage:
 //
-//	richsdk-server -addr :8080 -corpus-docs 500 -seed 42
+//	richsdk-server -addr :8080 -corpus-docs 500 -seed 42 \
+//	    -trace-sample 1 -log-level info -debug-addr 127.0.0.1:6060
 //
 // Endpoints (JSON): POST /v1/invoke, /v1/invoke-category, /v1/invoke-all,
-// /v1/rank; GET /v1/services, /v1/stats, /v1/cache/stats, /v1/breakers;
-// POST /v1/cache/invalidate.
+// /v1/rank; GET /v1/services, /v1/stats, /v1/cache/stats, /v1/breakers,
+// /v1/traces, /v1/traces/{id}; POST /v1/cache/invalidate. GET /metrics
+// serves Prometheus text exposition; -debug-addr serves net/http/pprof on a
+// separate listener. Logs are structured JSON on stderr, correlated with
+// trace and span IDs.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -28,6 +34,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/simsvc"
 	"repro/internal/spell"
+	"repro/internal/trace"
 	"repro/internal/vision"
 	"repro/internal/webcorpus"
 )
@@ -50,13 +57,31 @@ func run() error {
 		breakerCooldown  = flag.Duration("breaker-cooldown", 15*time.Second, "how long an open breaker rejects calls before probing")
 		deadlineFactor   = flag.Float64("deadline-factor", 0, "per-call deadline as a multiple of predicted latency (0 disables)")
 		deadlineFloor    = flag.Duration("deadline-floor", 250*time.Millisecond, "minimum per-call deadline when -deadline-factor is set")
+
+		traceSample = flag.Float64("trace-sample", 1, "fraction of invocations to trace, 0..1 (0 disables tracing)")
+		traceKeep   = flag.Int("trace-keep", 128, "recent traces retained for /v1/traces")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, or error")
+		debugAddr   = flag.String("debug-addr", "", "listen address for net/http/pprof (empty disables)")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
+
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		tracer = trace.New(trace.WithSampleRate(*traceSample), trace.WithCapacity(*traceKeep))
+		defer tracer.Close()
+	}
 
 	client, err := core.NewClient(core.Config{
 		CacheTTL: *cacheTTL,
 		Breaker:  core.BreakerConfig{Threshold: *breakerThreshold, Cooldown: *breakerCooldown},
 		Deadline: core.DeadlineConfig{Factor: *deadlineFactor, Floor: *deadlineFloor},
+		Tracer:   tracer,
 	})
 	if err != nil {
 		return err
@@ -66,14 +91,87 @@ func run() error {
 		return err
 	}
 
-	log.Printf("rich SDK HTTP facade listening on %s (%d services registered)",
-		*addr, len(client.Registry().Names()))
+	if *debugAddr != "" {
+		// pprof registers on http.DefaultServeMux; serve it on its own
+		// listener so profiling never shares a port with the public API.
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			dbg := &http.Server{Addr: *debugAddr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+			if err := dbg.ListenAndServe(); err != nil {
+				logger.Error("pprof server failed", "error", err)
+			}
+		}()
+	}
+
+	logger.Info("rich SDK HTTP facade listening",
+		"addr", *addr,
+		"services", len(client.Registry().Names()),
+		"trace_sample", *traceSample,
+	)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           core.NewAPI(client),
+		Handler:           accessLog(logger, tracer, core.NewAPI(client)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	return srv.ListenAndServe()
+}
+
+// newLogger builds the process logger: structured JSON on stderr at the
+// requested level, every record stamped with trace/span IDs when emitted
+// under a traced request.
+func newLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	inner := slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lv})
+	return slog.New(trace.NewLogHandler(inner)), nil
+}
+
+// statusRecorder captures the response status for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// accessLog wraps the API with a request-level root span (so invocation
+// traces nest under the serving request) and a structured access-log line
+// carrying the trace ID. The observability surface itself — /metrics and
+// /v1/traces — is exempt, so scraping does not flood the trace store.
+func accessLog(logger *slog.Logger, tracer *trace.Tracer, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" || strings.HasPrefix(r.URL.Path, "/v1/traces") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, sp := tracer.Start(r.Context(), "http "+r.URL.Path)
+		sp.SetAttr("method", r.Method)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		sp.SetInt("status", int64(rec.status))
+		logger.InfoContext(ctx, "request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000,
+		)
+		sp.End()
+	})
 }
 
 // registerBuiltins wires the simulated cognitive services into the SDK with

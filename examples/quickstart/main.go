@@ -1,8 +1,8 @@
 // Quickstart: register two NLU services with different latency and cost,
 // invoke one through the rich SDK (with caching and retries), invoke the
 // whole category with ranked failover, plug a custom middleware stage into
-// the invocation pipeline, and inspect the monitoring data the SDK
-// collected along the way.
+// the invocation pipeline, and inspect the monitoring data and traces the
+// SDK collected along the way.
 //
 //	go run ./examples/quickstart
 package main
@@ -11,6 +11,8 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -19,6 +21,7 @@ import (
 	"repro/internal/nlu"
 	"repro/internal/service"
 	"repro/internal/simsvc"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -39,9 +42,14 @@ func run() error {
 			return next(ctx, call)
 		}
 	}
+	// Trace every invocation; each one becomes a retrievable span tree.
+	tracer := trace.New()
+	defer tracer.Close()
+
 	client, err := core.NewClient(core.Config{
 		CacheTTL:   time.Minute,
 		Middleware: []core.Middleware{audit},
+		Tracer:     tracer,
 	})
 	if err != nil {
 		return err
@@ -128,5 +136,44 @@ func run() error {
 			s.Name, s.Count, s.Availability,
 			s.MeanLatency.Round(time.Millisecond), s.P95Latency.Round(time.Millisecond))
 	}
+
+	// 6. Every invocation above left a trace: a root span plus one child
+	// per middleware stage it passed through. Print the oldest one — the
+	// cold nlu-alpha call — as an indented tree.
+	fmt.Println("== trace of the first invocation ==")
+	traces := tracer.Traces()
+	first := traces[len(traces)-1] // Traces() is newest-first
+	full, _ := tracer.Trace(first.ID)
+	printTrace(full)
 	return nil
+}
+
+// printTrace renders a span tree depth-first with indentation, durations,
+// and attributes — the plain-text equivalent of GET /v1/traces/{id}.
+func printTrace(tr *trace.Trace) {
+	children := map[int][]trace.SpanData{}
+	var root trace.SpanData
+	for _, s := range tr.Spans {
+		if s.ParentID == 0 {
+			root = s
+			continue
+		}
+		children[s.ParentID] = append(children[s.ParentID], s)
+	}
+	var walk func(s trace.SpanData, depth int)
+	walk = func(s trace.SpanData, depth int) {
+		var attrs []string
+		for _, a := range s.Attrs {
+			attrs = append(attrs, a.Key+"="+a.Value)
+		}
+		sort.Strings(attrs)
+		fmt.Printf("%s%-12s %8.3fms  %s\n",
+			strings.Repeat("  ", depth), s.Name, s.DurationMS, strings.Join(attrs, " "))
+		kids := children[s.ID]
+		sort.Slice(kids, func(i, j int) bool { return kids[i].ID < kids[j].ID })
+		for _, c := range kids {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
 }

@@ -32,6 +32,7 @@ import (
 	"repro/internal/search"
 	"repro/internal/service"
 	"repro/internal/simsvc"
+	"repro/internal/trace"
 	"repro/internal/webcorpus"
 )
 
@@ -48,8 +49,11 @@ func run() error {
 	defer web.Close()
 
 	// A search engine over that web and an NLU engine, both registered on
-	// the rich SDK client as simulated remote services.
-	client, err := core.NewClient(core.Config{CacheTTL: time.Minute})
+	// the rich SDK client as simulated remote services. The tracer turns
+	// each pipeline run into one retrievable trace tree.
+	tracer := trace.New(trace.WithMaxSpans(4096))
+	defer tracer.Close()
+	client, err := core.NewClient(core.Config{CacheTTL: time.Minute, Tracer: tracer})
 	if err != nil {
 		return err
 	}
@@ -147,6 +151,24 @@ func run() error {
 	for _, s := range res.Stages {
 		fmt.Printf("  %-10s in %2d out %2d  mean %6s  p95 %6s\n",
 			s.Name, s.In, s.Out, s.Mean.Round(time.Microsecond), s.P95.Round(time.Microsecond))
+	}
+
+	// The same run as one trace tree: the analysis root span, a stage span
+	// per document, and every SDK invocation nested inside its stage.
+	if full, ok := tracer.Trace(res.TraceID); ok {
+		counts := map[string]int{}
+		for _, s := range full.Spans {
+			counts[s.Name]++
+		}
+		names := make([]string, 0, len(counts))
+		for n := range counts {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("\ntrace %s: %d spans in %.0fms\n", full.ID, len(full.Spans), full.DurationMS)
+		for _, n := range names {
+			fmt.Printf("  %-18s × %d\n", n, counts[n])
+		}
 	}
 
 	// Re-run: the docstore satisfies every analysis, the SDK cache the

@@ -31,6 +31,7 @@ import (
 	"repro/internal/predict"
 	"repro/internal/rank"
 	"repro/internal/service"
+	"repro/internal/trace"
 )
 
 // Errors returned by the client.
@@ -87,6 +88,10 @@ type Config struct {
 	// Deadline enables predicted-latency deadlines (DeadlineStage) when
 	// Factor > 0.
 	Deadline DeadlineConfig
+	// Tracer enables distributed-style tracing of invocations: a root span
+	// per call (TraceStage) with one child span per middleware stage. Nil
+	// disables tracing; a tracer with SampleRate 0 is treated as disabled.
+	Tracer *trace.Tracer
 	// Middleware is injected outermost into every registration's chain,
 	// in order. Use it for client-wide concerns such as logging or
 	// tracing.
@@ -124,6 +129,7 @@ func (c *Config) fill() {
 type registration struct {
 	name        string // svc.Info().Name, cached off the hot path
 	cachePrefix string // "svc:<name>:", precomputed for CacheStage
+	spanName    string // "invoke <name>", precomputed for TraceStage
 	svc         service.Service
 	retry       *failover.RetryPolicy
 	policy      failover.RetryPolicy // retry resolved against the client default
@@ -237,6 +243,7 @@ func (c *Client) Register(svc service.Service, opts ...RegisterOption) error {
 		params: func(req service.Request) []float64 { return []float64{float64(req.ArgSize())} },
 	}
 	reg.cachePrefix = "svc:" + reg.name + ":"
+	reg.spanName = "invoke " + reg.name
 	for _, o := range opts {
 		o(reg)
 	}
@@ -258,7 +265,12 @@ func (c *Client) Register(svc service.Service, opts ...RegisterOption) error {
 // stages assembles the registration's chain, outermost first. See the
 // package-level order documented in stages.go.
 func (c *Client) stages(reg *registration) []Middleware {
-	mw := make([]Middleware, 0, len(c.cfg.Middleware)+len(reg.mw)+7)
+	mw := make([]Middleware, 0, len(c.cfg.Middleware)+len(reg.mw)+8)
+	if c.cfg.Tracer.Enabled() {
+		// Outermost of all, so the root span covers custom middleware too
+		// and Call.Span is live for it.
+		mw = append(mw, TraceStage(c.cfg.Tracer))
+	}
 	mw = append(mw, c.cfg.Middleware...)
 	mw = append(mw, reg.mw...)
 	mw = append(mw, CacheStage(c.memcache, c.flight))
@@ -288,6 +300,10 @@ func (c *Client) reg(name string) (*registration, bool) {
 	r, ok := (*c.regs.Load())[name]
 	return r, ok
 }
+
+// Tracer returns the client's tracer, nil when tracing is not configured.
+// The nil tracer is safe to use: every method is inert.
+func (c *Client) Tracer() *trace.Tracer { return c.cfg.Tracer }
 
 // Monitor returns the monitoring data collected for the named service.
 func (c *Client) Monitor(name string) *metrics.Monitor { return c.monitors.Monitor(name) }
@@ -354,6 +370,7 @@ func (c *Client) fillCall(call *Call, reg *registration, req *service.Request, i
 	call.reg = reg
 	call.retryOverride = io.retry
 	call.params = nil
+	call.span = trace.Span{}
 }
 
 // callPool recycles Call values so the cache-hit fast path does not pay a

@@ -3,10 +3,13 @@ package core
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 
+	"repro/internal/metrics"
 	"repro/internal/service"
+	"repro/internal/trace"
 )
 
 // The paper: "In order to allow programs written in other languages to
@@ -23,18 +26,46 @@ import (
 //	GET  /v1/cache/stats                                     -> cache.Stats
 //	POST /v1/cache/invalidate                                -> 204
 //	GET  /v1/breakers                                        -> {breakers: [states]}
+//	GET  /v1/traces                                          -> {traces: [summaries]}
+//	GET  /v1/traces/{id}                                     -> trace.Trace
+//	GET  /metrics                                            -> Prometheus text
 
 // API wraps a Client as an http.Handler.
 type API struct {
 	client *Client
 	mux    *http.ServeMux
+	extra  []extraMetrics
+}
+
+// extraMetrics is an additional monitor registry rendered on /metrics, for
+// example an analysis pipeline's per-stage monitors.
+type extraMetrics struct {
+	prefix, label string
+	reg           *metrics.Registry
 }
 
 var _ http.Handler = (*API)(nil)
 
+// APIOption customizes the HTTP façade.
+type APIOption func(*API)
+
+// WithExtraMetrics renders reg's snapshots on /metrics as <prefix>_*
+// families labelled <label>="<monitor name>", alongside the client's own
+// service metrics.
+func WithExtraMetrics(prefix, label string, reg *metrics.Registry) APIOption {
+	return func(a *API) {
+		if reg != nil {
+			a.extra = append(a.extra, extraMetrics{prefix: prefix, label: label, reg: reg})
+		}
+	}
+}
+
 // NewAPI returns the HTTP façade for client.
-func NewAPI(client *Client) *API {
+func NewAPI(client *Client, opts ...APIOption) *API {
 	a := &API{client: client, mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(a)
+	}
 	a.mux.HandleFunc("POST /v1/invoke", a.handleInvoke)
 	a.mux.HandleFunc("POST /v1/invoke-category", a.handleInvokeCategory)
 	a.mux.HandleFunc("POST /v1/invoke-all", a.handleInvokeAll)
@@ -44,6 +75,9 @@ func NewAPI(client *Client) *API {
 	a.mux.HandleFunc("GET /v1/cache/stats", a.handleCacheStats)
 	a.mux.HandleFunc("POST /v1/cache/invalidate", a.handleCacheInvalidate)
 	a.mux.HandleFunc("GET /v1/breakers", a.handleBreakers)
+	a.mux.HandleFunc("GET /v1/traces", a.handleTraces)
+	a.mux.HandleFunc("GET /v1/traces/{id}", a.handleTrace)
+	a.mux.HandleFunc("GET /metrics", a.handleMetrics)
 	return a
 }
 
@@ -214,4 +248,76 @@ func (a *API) handleBreakers(w http.ResponseWriter, r *http.Request) {
 		states = []BreakerState{}
 	}
 	writeJSONStatus(w, http.StatusOK, map[string]any{"breakers": states})
+}
+
+func (a *API) handleTraces(w http.ResponseWriter, r *http.Request) {
+	summaries := a.client.Tracer().Traces()
+	if summaries == nil {
+		summaries = []trace.Summary{}
+	}
+	writeJSONStatus(w, http.StatusOK, map[string]any{"traces": summaries})
+}
+
+func (a *API) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := a.client.Tracer().Trace(id)
+	if !ok {
+		a.writeErr(w, http.StatusNotFound, fmt.Errorf("core: no trace %q", id))
+		return
+	}
+	writeJSONStatus(w, http.StatusOK, tr)
+}
+
+// breakerStateValue maps breaker states onto a numeric gauge: 0 closed,
+// 1 half-open, 2 open, so alerting can threshold on "anything not closed".
+func breakerStateValue(state string) float64 {
+	switch state {
+	case "half-open":
+		return 1
+	case "open":
+		return 2
+	default:
+		return 0
+	}
+}
+
+func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	tw := metrics.NewTextWriter(w)
+	metrics.WriteSnapshots(tw, "richsdk_service", "service", a.client.Stats())
+	for _, ex := range a.extra {
+		metrics.WriteSnapshots(tw, ex.prefix, ex.label, ex.reg.Snapshots())
+	}
+
+	cs := a.client.CacheStats()
+	tw.Family("richsdk_cache_hits_total", "Response-cache hits.", "counter")
+	tw.Metric("richsdk_cache_hits_total", float64(cs.Hits))
+	tw.Family("richsdk_cache_misses_total", "Response-cache misses.", "counter")
+	tw.Metric("richsdk_cache_misses_total", float64(cs.Misses))
+	tw.Family("richsdk_cache_evictions_total", "Response-cache evictions.", "counter")
+	tw.Metric("richsdk_cache_evictions_total", float64(cs.Evictions))
+
+	if states := a.client.BreakerStates(); len(states) > 0 {
+		tw.Family("richsdk_breaker_state", "Circuit-breaker state: 0 closed, 1 half-open, 2 open.", "gauge")
+		for _, st := range states {
+			tw.Metric("richsdk_breaker_state", breakerStateValue(st.State), metrics.Label{Name: "service", Value: st.Service})
+		}
+		tw.Family("richsdk_breaker_consecutive_failures", "Consecutive transient failures counted by the breaker.", "gauge")
+		for _, st := range states {
+			tw.Metric("richsdk_breaker_consecutive_failures", float64(st.Consecutive), metrics.Label{Name: "service", Value: st.Service})
+		}
+	}
+
+	if tr := a.client.Tracer(); tr.Enabled() {
+		st := tr.Stats()
+		tw.Family("richsdk_traces_sampled_total", "Traces admitted by head sampling.", "counter")
+		tw.Metric("richsdk_traces_sampled_total", float64(st.Sampled))
+		tw.Family("richsdk_traces_unsampled_total", "Traces rejected by head sampling.", "counter")
+		tw.Metric("richsdk_traces_unsampled_total", float64(st.Unsampled))
+		tw.Family("richsdk_trace_spans_dropped_total", "Spans dropped by per-trace span budgets.", "counter")
+		tw.Metric("richsdk_trace_spans_dropped_total", float64(st.DroppedSpans))
+		tw.Family("richsdk_traces_stored", "Traces currently retained in the ring store.", "gauge")
+		tw.Metric("richsdk_traces_stored", float64(st.Stored))
+	}
+	_ = tw.Err()
 }

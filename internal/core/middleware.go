@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/failover"
 	"repro/internal/service"
+	"repro/internal/trace"
 )
 
 // This file defines the SDK's invocation pipeline. The paper's Fig. 2
@@ -63,6 +64,12 @@ type Call struct {
 	reg           *registration
 	retryOverride *failover.RetryPolicy // Retry invoke option, else reg.policy
 	params        []float64
+
+	// span is the innermost open trace span for this call. TraceStage sets
+	// the root; each built-in stage swaps in its child around next so inner
+	// stages nest correctly. The zero Span (tracing disabled or the trace
+	// unsampled) is inert, so stages never need to test it.
+	span trace.Span
 }
 
 // Name returns the target service's registered name.
@@ -77,6 +84,11 @@ func (c *Call) Retry() failover.RetryPolicy {
 	}
 	return c.reg.policy
 }
+
+// Span returns the call's innermost open trace span. Custom middleware can
+// annotate it; the zero Span (tracing disabled or unsampled) accepts and
+// discards annotations.
+func (c *Call) Span() trace.Span { return c.span }
 
 // Service returns the transport the terminal Invoker calls.
 func (c *Call) Service() service.Service { return c.reg.svc }

@@ -13,11 +13,13 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/predict"
 	"repro/internal/service"
+	"repro/internal/trace"
 )
 
 // The built-in stages, in the order the Client composes them (outermost
 // first):
 //
+//	TraceStage    — root span per invocation (only when Config.Tracer is set)
 //	CacheStage    — response cache + single-flight de-duplication
 //	BreakerStage  — circuit breaker (only when Config.Breaker enables it)
 //	QuotaStage    — client-side quota enforcement
@@ -26,6 +28,14 @@ import (
 //	MonitorStage  — latency/availability observation + quality rating
 //	PredictStage  — latency-parameter observation
 //	RetryStage    — per-service retries (failover.InvokeFunc)
+//
+// Every stage on a traced call opens a child span around the rest of the
+// chain and annotates its decision (cache hit/miss, breaker state, quota
+// verdict, computed deadline, attempt count), so /v1/traces/{id} shows one
+// invocation's complete journey through the stack. The swap pattern —
+// stash call.span, install the child, restore after next returns — keeps
+// nesting correct without any context allocation on the hot path; the zero
+// Span makes all of it inert when tracing is off or the trace unsampled.
 //
 // Client-wide (Config.Middleware), per-registration (WithMiddleware), and
 // per-invocation (WithInvokeMiddleware) middleware wrap outside the whole
@@ -38,6 +48,32 @@ import (
 // transient failure: a too-slow service is treated like an unavailable one.
 var ErrDeadline = errors.New("core: predicted-latency deadline exceeded")
 
+// TraceStage opens the root span for each invocation, named for the
+// registration ("invoke <service>") and joined to any span already in ctx
+// (an HTTP request span, a pipeline item span). It is composed outermost
+// when Config.Tracer is set, so the span covers custom middleware too and
+// Call.Span lets them annotate it. Unsampled invocations carry the zero
+// Span and cost nothing downstream.
+func TraceStage(tr *trace.Tracer) Middleware {
+	return func(next Invoker) Invoker {
+		return func(ctx context.Context, call *Call) (service.Response, error) {
+			sp := tr.StartSpan(ctx, call.reg.spanName)
+			if !sp.Recording() {
+				return next(ctx, call)
+			}
+			sp.SetAttr("service", call.reg.name)
+			call.span = sp
+			resp, err := next(ctx, call)
+			call.span = trace.Span{}
+			if err != nil {
+				sp.SetError(err)
+			}
+			sp.End()
+			return resp, err
+		}
+	}
+}
+
 // CacheStage serves cacheable calls from mem, de-duplicating concurrent
 // misses for the same key through flight so one backend call feeds every
 // waiter (paper §2: caching avoids redundant service calls). Calls that are
@@ -49,16 +85,25 @@ func CacheStage(mem *cache.Memory[service.Response], flight *cache.Group[service
 				return next(ctx, call)
 			}
 			key := call.reg.cachePrefix + call.Req.CacheKey()
+			parent := call.span
+			sp := parent.Child("cache")
 			// Hit fast path first: probing the cache before building the
 			// fill closure keeps the hit entirely allocation-free beyond
 			// the key itself. Fill (not GetOrFill) on the miss path, so
 			// the probe stays the only recorded cache lookup.
 			if resp, err := mem.Get(key); err == nil {
+				sp.SetAttr("cache", "hit")
+				sp.End()
 				return resp, nil
 			}
-			return cache.Fill(mem, flight, key, func() (service.Response, error) {
+			sp.SetAttr("cache", "miss")
+			call.span = sp
+			resp, err := cache.Fill(mem, flight, key, func() (service.Response, error) {
 				return next(ctx, call)
 			})
+			call.span = parent
+			sp.End()
+			return resp, err
 		}
 	}
 }
@@ -69,10 +114,26 @@ func CacheStage(mem *cache.Memory[service.Response], flight *cache.Group[service
 func QuotaStage() Middleware {
 	return func(next Invoker) Invoker {
 		return func(ctx context.Context, call *Call) (service.Response, error) {
-			if q := call.reg.quota; q != nil && !q.Take() {
-				return service.Response{}, fmt.Errorf("%w: %s", ErrClientQuota, call.reg.name)
+			parent := call.span
+			sp := parent.Child("quota")
+			q := call.reg.quota
+			switch {
+			case q == nil:
+				sp.SetAttr("quota", "none")
+			case !q.Take():
+				err := fmt.Errorf("%w: %s", ErrClientQuota, call.reg.name)
+				sp.SetAttr("quota", "rejected")
+				sp.SetError(err)
+				sp.End()
+				return service.Response{}, err
+			default:
+				sp.SetAttr("quota", "ok")
 			}
-			return next(ctx, call)
+			call.span = sp
+			resp, err := next(ctx, call)
+			call.span = parent
+			sp.End()
+			return resp, err
 		}
 	}
 }
@@ -85,12 +146,24 @@ func QuotaStage() Middleware {
 func BreakerStage(set *BreakerSet) Middleware {
 	return func(next Invoker) Invoker {
 		return func(ctx context.Context, call *Call) (service.Response, error) {
+			parent := call.span
+			sp := parent.Child("breaker")
 			b := set.For(call.reg.name)
 			if !b.Allow() {
-				return service.Response{}, fmt.Errorf("%w: %s", ErrBreakerOpen, call.reg.name)
+				err := fmt.Errorf("%w: %s", ErrBreakerOpen, call.reg.name)
+				sp.SetAttr("state", "open")
+				sp.SetError(err)
+				sp.End()
+				return service.Response{}, err
 			}
+			if sp.Recording() {
+				sp.SetAttr("state", b.State())
+			}
+			call.span = sp
 			resp, err := next(ctx, call)
+			call.span = parent
 			b.Record(err)
+			sp.End()
 			return resp, err
 		}
 	}
@@ -125,9 +198,16 @@ func DeadlineStage(predictLatency func(name string, params []float64) (time.Dura
 	cfg.fill()
 	return func(next Invoker) Invoker {
 		return func(ctx context.Context, call *Call) (service.Response, error) {
+			parent := call.span
+			sp := parent.Child("deadline")
 			pred, err := predictLatency(call.reg.name, call.LatencyParams())
 			if err != nil || pred <= 0 {
-				return next(ctx, call)
+				sp.SetAttr("deadline", "unbounded")
+				call.span = sp
+				resp, err := next(ctx, call)
+				call.span = parent
+				sp.End()
+				return resp, err
 			}
 			d := time.Duration(cfg.Factor * float64(pred))
 			if d < cfg.Floor {
@@ -136,12 +216,18 @@ func DeadlineStage(predictLatency func(name string, params []float64) (time.Dura
 			if cfg.Cap > 0 && d > cfg.Cap {
 				d = cfg.Cap
 			}
+			sp.SetDuration("predicted_ms", pred)
+			sp.SetDuration("deadline_ms", d)
 			dctx, cancel := context.WithTimeout(ctx, d)
 			defer cancel()
+			call.span = sp
 			resp, err := next(dctx, call)
+			call.span = parent
 			if err != nil && errors.Is(dctx.Err(), context.DeadlineExceeded) && ctx.Err() == nil {
 				err = fmt.Errorf("%w: %s after %v: %w", ErrDeadline, call.reg.name, d, err)
+				sp.SetError(err)
 			}
+			sp.End()
 			return resp, err
 		}
 	}
@@ -154,7 +240,11 @@ func DeadlineStage(predictLatency func(name string, params []float64) (time.Dura
 func MonitorStage(monitors *metrics.Registry) Middleware {
 	return func(next Invoker) Invoker {
 		return func(ctx context.Context, call *Call) (service.Response, error) {
+			parent := call.span
+			sp := parent.Child("monitor")
+			call.span = sp
 			resp, err := next(ctx, call)
+			call.span = parent
 			mon := monitors.Monitor(call.reg.name)
 			mon.Record(metrics.Observation{
 				Latency:  call.Elapsed,
@@ -162,6 +252,8 @@ func MonitorStage(monitors *metrics.Registry) Middleware {
 				Params:   call.LatencyParams(),
 				Attempts: call.Attempts,
 			})
+			sp.SetDuration("recorded_ms", call.Elapsed)
+			sp.End()
 			if err != nil {
 				return service.Response{}, err
 			}
@@ -179,10 +271,15 @@ func MonitorStage(monitors *metrics.Registry) Middleware {
 func PredictStage(set *PredictorSet) Middleware {
 	return func(next Invoker) Invoker {
 		return func(ctx context.Context, call *Call) (service.Response, error) {
+			parent := call.span
+			sp := parent.Child("predict")
+			call.span = sp
 			resp, err := next(ctx, call)
+			call.span = parent
 			if err == nil {
 				set.Observe(call.reg.name, call.LatencyParams(), call.Elapsed)
 			}
+			sp.End()
 			return resp, err
 		}
 	}
@@ -195,12 +292,33 @@ func PredictStage(set *PredictorSet) Middleware {
 func RetryStage(clk clock.Clock) Middleware {
 	return func(next Invoker) Invoker {
 		return func(ctx context.Context, call *Call) (service.Response, error) {
+			parent := call.span
+			sp := parent.Child("retry")
+			call.span = sp
 			start := clk.Now()
+			attempt := 0
 			resp, attempts, err := failover.InvokeFunc(ctx, clk, func(ctx context.Context) (service.Response, error) {
-				return next(ctx, call)
+				attempt++
+				asp := sp.Child("attempt")
+				asp.SetInt("attempt", int64(attempt))
+				call.span = asp
+				r, e := next(ctx, call)
+				call.span = sp
+				if e != nil {
+					asp.SetError(e)
+				}
+				asp.End()
+				return r, e
 			}, call.Retry())
 			call.Attempts = attempts
 			call.Elapsed = clk.Since(start)
+			call.span = parent
+			sp.SetInt("attempts", int64(attempts))
+			sp.SetDuration("elapsed_ms", call.Elapsed)
+			if err != nil {
+				sp.SetError(err)
+			}
+			sp.End()
 			return resp, err
 		}
 	}

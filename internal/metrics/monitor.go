@@ -121,6 +121,21 @@ func WithMaxParamObservations(n int) Option {
 	}
 }
 
+// WithRecentSize bounds the ring of timestamped recent observations that
+// backs WindowAvailability. The ring's capacity and the query window
+// interact: WindowAvailability(d) only sees observations that are both
+// newer than d and among the last n recorded, so a ring smaller than the
+// observation rate times d silently narrows the effective window. Size the
+// ring for the longest window queried at the peak recording rate; the
+// default is 4096 observations.
+func WithRecentSize(n int) Option {
+	return func(m *Monitor) {
+		if n > 0 {
+			m.recent = make([]timedObs, 0, n)
+		}
+	}
+}
+
 // NewMonitor returns a Monitor for the named service.
 func NewMonitor(name string, opts ...Option) *Monitor {
 	m := &Monitor{
@@ -345,13 +360,12 @@ func (m *Monitor) Snapshot() Snapshot {
 	}
 	m.mu.Unlock()
 
-	for _, pc := range []struct {
-		p   float64
-		dst *time.Duration
-	}{{50, &s.P50Latency}, {95, &s.P95Latency}, {99, &s.P99Latency}} {
-		if v, err := stats.Percentile(sample, pc.p); err == nil {
-			*pc.dst = time.Duration(v * float64(time.Millisecond))
-		}
+	// One sort serves all three quantiles; the previous per-percentile
+	// Percentile calls each copied and sorted the sample from scratch.
+	if qs, err := stats.Percentiles(sample, 50, 95, 99); err == nil {
+		s.P50Latency = time.Duration(qs[0] * float64(time.Millisecond))
+		s.P95Latency = time.Duration(qs[1] * float64(time.Millisecond))
+		s.P99Latency = time.Duration(qs[2] * float64(time.Millisecond))
 	}
 	return s
 }

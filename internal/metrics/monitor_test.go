@@ -144,6 +144,26 @@ func TestWindowAvailability(t *testing.T) {
 	}
 }
 
+func TestWithRecentSize(t *testing.T) {
+	v := clock.NewVirtual(time.Unix(1000, 0))
+	m := NewMonitor("svc", WithClock(v), WithRecentSize(2))
+	// An old failure followed by enough successes to push it out of the
+	// 2-slot ring: the window query can no longer see it even though the
+	// time window covers it.
+	m.Record(Observation{Latency: time.Millisecond, Err: errBoom})
+	m.Record(Observation{Latency: time.Millisecond})
+	m.Record(Observation{Latency: time.Millisecond})
+	if got := m.WindowAvailability(time.Hour); got != 1 {
+		t.Errorf("WindowAvailability = %v, want 1 after failure evicted", got)
+	}
+
+	// Non-positive sizes keep the default.
+	d := NewMonitor("svc", WithRecentSize(0))
+	if cap(d.recent) != defaultRecentSize {
+		t.Errorf("WithRecentSize(0) capacity = %d, want default %d", cap(d.recent), defaultRecentSize)
+	}
+}
+
 func TestSnapshot(t *testing.T) {
 	m := NewMonitor("svc")
 	m.Record(Observation{Latency: 10 * time.Millisecond})

@@ -15,6 +15,7 @@ import (
 	"repro/internal/nlu"
 	"repro/internal/search"
 	"repro/internal/service"
+	"repro/internal/trace"
 	"repro/internal/webcorpus"
 )
 
@@ -67,6 +68,11 @@ type AnalysisConfig struct {
 	// Metrics, when non-nil, receives per-stage latency monitors in
 	// place of the pipeline's private registry.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, traces the run: a root span per Run/RunDocs
+	// with one child span per stage per item, and the SDK invocations the
+	// stages make nested inside them. Nil falls back to the Client's
+	// tracer, so a traced client traces its pipelines too.
+	Tracer *trace.Tracer
 }
 
 // DocResult is one document's trip through the pipeline.
@@ -115,6 +121,9 @@ type AnalysisResult struct {
 	Stages []StageStats
 	// Skipped holds the errors behind dropped documents (bounded).
 	Skipped []error
+	// TraceID identifies the run's trace tree ("" when the run was not
+	// traced or not sampled); fetch it from /v1/traces/{id}.
+	TraceID string
 }
 
 func (cfg *AnalysisConfig) fill() error {
@@ -143,6 +152,18 @@ func (cfg *AnalysisConfig) policy() Policy {
 	return Abort
 }
 
+// tracer resolves the run's tracer: the explicit one, else the Client's.
+// Both may be nil; the nil tracer is inert.
+func (cfg *AnalysisConfig) tracer() *trace.Tracer {
+	if cfg.Tracer != nil {
+		return cfg.Tracer
+	}
+	if cfg.Client != nil {
+		return cfg.Client.Tracer()
+	}
+	return nil
+}
+
 func (cfg *AnalysisConfig) invokeOpts() []core.InvokeOption {
 	if cfg.NoCache {
 		return []core.InvokeOption{core.NoCache()}
@@ -163,6 +184,10 @@ func (cfg AnalysisConfig) Run(ctx context.Context, query string) (*AnalysisResul
 	if cfg.FetchURL == "" {
 		return nil, fmt.Errorf("pipeline: AnalysisConfig.FetchURL is required")
 	}
+
+	ctx, root := cfg.tracer().Start(ctx, "analysis")
+	root.SetAttr("query", query)
+	defer root.End()
 
 	p := cfg.newPipeline(ctx)
 	hits := 0
@@ -214,8 +239,10 @@ func (cfg AnalysisConfig) Run(ctx context.Context, query string) (*AnalysisResul
 
 	res, err := cfg.finish(ctx, p, docs, query, &hits)
 	if err != nil {
+		root.SetError(err)
 		return nil, err
 	}
+	res.TraceID = root.TraceID()
 	if cfg.Store != nil {
 		saved := make([]docstore.SavedDoc, len(res.Docs))
 		for i, d := range res.Docs {
@@ -237,6 +264,9 @@ func (cfg AnalysisConfig) RunDocs(ctx context.Context, label string, docs []docs
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
+	ctx, root := cfg.tracer().Start(ctx, "analysis")
+	root.SetAttr("query", label)
+	defer root.End()
 	p := cfg.newPipeline(ctx)
 	items := make([]indexed[docstore.SavedDoc], len(docs))
 	for i, d := range docs {
@@ -244,7 +274,13 @@ func (cfg AnalysisConfig) RunDocs(ctx context.Context, label string, docs []docs
 	}
 	hits := len(docs)
 	flow := Source(p, "docs", items)
-	return cfg.finish(ctx, p, flow, label, &hits)
+	res, err := cfg.finish(ctx, p, flow, label, &hits)
+	if err != nil {
+		root.SetError(err)
+		return nil, err
+	}
+	res.TraceID = root.TraceID()
+	return res, nil
 }
 
 func (cfg *AnalysisConfig) newPipeline(ctx context.Context) *Pipeline {

@@ -25,7 +25,13 @@ import (
 // engines registered on a rich SDK client (tiny latencies for test speed).
 func newAnalysisEnv(t *testing.T) (*core.Client, *httptest.Server) {
 	t.Helper()
-	client, err := core.NewClient(core.Config{CacheTTL: time.Minute})
+	return newAnalysisEnvCfg(t, core.Config{CacheTTL: time.Minute})
+}
+
+// newAnalysisEnvCfg is newAnalysisEnv with a caller-supplied client config.
+func newAnalysisEnvCfg(t *testing.T, ccfg core.Config) (*core.Client, *httptest.Server) {
+	t.Helper()
+	client, err := core.NewClient(ccfg)
 	if err != nil {
 		t.Fatal(err)
 	}

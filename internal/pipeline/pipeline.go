@@ -31,6 +31,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/future"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Policy selects how a stage responds to an item whose processing failed
@@ -253,6 +254,14 @@ func SourceFunc[T any](p *Pipeline, name string, gen func(ctx context.Context, e
 	go func() {
 		defer p.wg.Done()
 		defer close(out)
+		// When the pipeline context carries a trace span (the run's root),
+		// the source runs under its own child span, so SDK invocations made
+		// by gen — a search call, say — nest inside the stage span.
+		sp := trace.SpanFromContext(p.ctx).Child(name)
+		genCtx := p.ctx
+		if sp.Recording() {
+			genCtx = trace.ContextWithSpan(genCtx, sp)
+		}
 		emit := func(v T) error {
 			select {
 			case out <- v:
@@ -262,9 +271,13 @@ func SourceFunc[T any](p *Pipeline, name string, gen func(ctx context.Context, e
 				return context.Cause(p.ctx)
 			}
 		}
-		if err := gen(p.ctx, emit); err != nil && p.ctx.Err() == nil {
+		err := gen(genCtx, emit)
+		sp.SetInt("emitted", c.out.Load())
+		if err != nil && p.ctx.Err() == nil {
+			sp.SetError(err)
 			p.abort(name, err)
 		}
+		sp.End()
 	}()
 	return &Flow[T]{p: p, ch: out}
 }
@@ -284,6 +297,7 @@ func Via[In, Out any](f *Flow[In], s Stage[In, Out]) *Flow[Out] {
 	}
 	c := p.newCounters(s.Name)
 	mon := p.metrics.Monitor(s.Name)
+	parent := trace.SpanFromContext(p.ctx)
 	out := make(chan Out)
 	pool, err := future.NewPool(workers, 0)
 	if err != nil {
@@ -313,7 +327,7 @@ func Via[In, Out any](f *Flow[In], s Stage[In, Out]) *Flow[Out] {
 			}
 			c.in.Add(1)
 			fut := future.SubmitCtx(p.ctx, pool, func() (Out, error) {
-				return runItem(p, s, c, mon, item)
+				return runItem(p, s, c, mon, parent, item)
 			})
 			select {
 			case inflight <- fut:
@@ -352,17 +366,30 @@ func Via[In, Out any](f *Flow[In], s Stage[In, Out]) *Flow[Out] {
 }
 
 // runItem applies s.Fn to one item with the stage's retry budget,
-// recording every attempt's latency and outcome in the stage monitor.
-func runItem[In, Out any](p *Pipeline, s Stage[In, Out], c *counters, mon *metrics.Monitor, item In) (Out, error) {
+// recording every attempt's latency and outcome in the stage monitor. On a
+// traced run each item gets a span (named for the stage, covering all
+// attempts) whose context flows into Fn, so SDK invocations made while
+// processing the item join the run's trace tree.
+func runItem[In, Out any](p *Pipeline, s Stage[In, Out], c *counters, mon *metrics.Monitor, parent trace.Span, item In) (Out, error) {
 	var zero Out
+	sp := parent.Child(s.Name)
+	ctx := p.ctx
+	if sp.Recording() {
+		ctx = trace.ContextWithSpan(ctx, sp)
+	}
+	defer sp.End()
 	for attempt := 0; ; attempt++ {
 		start := p.clk.Now()
-		v, err := s.Fn(p.ctx, item)
+		v, err := s.Fn(ctx, item)
 		mon.Record(metrics.Observation{Latency: p.clk.Since(start), Err: err})
+		if attempt > 0 {
+			sp.SetInt("retries", int64(attempt))
+		}
 		if err == nil {
 			return v, nil
 		}
 		if attempt >= s.Retries || p.ctx.Err() != nil {
+			sp.SetError(err)
 			return zero, err
 		}
 		c.retries.Add(1)
@@ -375,20 +402,29 @@ func Drain[T any](f *Flow[T], name string, fn func(ctx context.Context, item T) 
 	p := f.p
 	c := p.newCounters(name)
 	mon := p.metrics.Monitor(name)
+	parent := trace.SpanFromContext(p.ctx)
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
 		for item := range f.ch {
 			c.in.Add(1)
+			sp := parent.Child(name)
+			ctx := p.ctx
+			if sp.Recording() {
+				ctx = trace.ContextWithSpan(ctx, sp)
+			}
 			start := p.clk.Now()
-			err := fn(p.ctx, item)
+			err := fn(ctx, item)
 			mon.Record(metrics.Observation{Latency: p.clk.Since(start), Err: err})
 			if err != nil {
+				sp.SetError(err)
+				sp.End()
 				if p.ctx.Err() == nil {
 					p.abort(name, err)
 				}
 				continue // keep draining so upstream unblocks
 			}
+			sp.End()
 			c.out.Add(1)
 		}
 	}()

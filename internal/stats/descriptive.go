@@ -97,17 +97,45 @@ func Percentile(xs []float64, p float64) (float64, error) {
 	cp := make([]float64, len(xs))
 	copy(cp, xs)
 	sort.Float64s(cp)
-	if len(cp) == 1 {
-		return cp[0], nil
+	return percentileSorted(cp, p), nil
+}
+
+// Percentiles returns the percentiles for each p in ps (0 <= p <= 100),
+// sorting xs only once. It returns ErrEmpty for empty input and an error
+// for any out-of-range p. xs is not modified.
+func Percentiles(xs []float64, ps ...float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
 	}
-	rank := p / 100 * float64(len(cp)-1)
+	for _, p := range ps {
+		if p < 0 || p > 100 {
+			return nil, fmt.Errorf("stats: percentile %v out of range [0,100]", p)
+		}
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = percentileSorted(cp, p)
+	}
+	return out, nil
+}
+
+// percentileSorted reads the p-th percentile from an already-sorted,
+// non-empty slice using linear interpolation between closest ranks.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return cp[lo], nil
+		return sorted[lo]
 	}
 	frac := rank - float64(lo)
-	return cp[lo]*(1-frac) + cp[hi]*frac, nil
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // Correlation returns the Pearson correlation coefficient between xs and ys.

@@ -106,6 +106,33 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentiles(t *testing.T) {
+	xs := []float64{10, 1, 5, 3, 8, 2, 9, 4, 7, 6}
+	got, err := Percentiles(xs, 0, 25, 50, 90, 100)
+	if err != nil {
+		t.Fatalf("Percentiles error = %v", err)
+	}
+	// Each value must agree with the single-percentile path.
+	for i, p := range []float64{0, 25, 50, 90, 100} {
+		want, _ := Percentile(xs, p)
+		if !almostEqual(got[i], want, 1e-9) {
+			t.Errorf("Percentiles[%v] = %v, want %v", p, got[i], want)
+		}
+	}
+	if xs[0] != 10 {
+		t.Errorf("Percentiles mutated input: %v", xs)
+	}
+	if _, err := Percentiles(nil, 50); err != ErrEmpty {
+		t.Errorf("empty input error = %v, want ErrEmpty", err)
+	}
+	if _, err := Percentiles(xs, 50, 101); err == nil {
+		t.Error("out-of-range p should error")
+	}
+	if out, err := Percentiles(xs); err != nil || len(out) != 0 {
+		t.Errorf("no-percentile call = %v, %v; want empty, nil", out, err)
+	}
+}
+
 func TestPercentileErrors(t *testing.T) {
 	if _, err := Percentile(nil, 50); err != ErrEmpty {
 		t.Errorf("empty input error = %v, want ErrEmpty", err)
