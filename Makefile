@@ -11,9 +11,12 @@ test:
 vet:
 	$(GO) vet ./...
 
-# race runs the full suite under the race detector. Timing-sensitive
-# guards (TestPipelineOverheadCacheHit, TestTraceOverheadFacade) skip
-# themselves here; run plain `make test` to exercise them.
+# race runs the full suite under the race detector, including the cache
+# layer's concurrency tests (sharded stores, singleflight cancellation,
+# concurrent disk writers). Timing-sensitive guards
+# (TestPipelineOverheadCacheHit, TestTraceOverheadFacade,
+# TestShardedCacheShape) skip themselves here; run plain `make test` to
+# exercise them.
 race:
 	$(GO) test -race ./...
 
@@ -24,11 +27,14 @@ check: vet race
 cover:
 	$(GO) test -cover ./...
 
-# bench runs the experiment benchmarks (E1–E16, A1–A4) from bench_test.go.
-# Narrow with BENCH, e.g. `make bench BENCH=BenchmarkE1Caching`.
+# bench runs the experiment benchmarks (E1–E16, A1–A4) from bench_test.go
+# plus the cache micro-benchmarks (BenchmarkCacheHitParallel compares the
+# single-mutex and sharded stores at 1/8/64-goroutine parallelism).
+# Narrow with BENCH, e.g. `make bench BENCH=BenchmarkE1Caching` or
+# `make bench BENCH=BenchmarkCacheHitParallel`.
 BENCH ?= .
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem .
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem . ./internal/cache
 
 fmt:
 	gofmt -w .

@@ -1,242 +1,73 @@
 package cache
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"strconv"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
-	"testing/quick"
 	"time"
 
 	"repro/internal/clock"
 )
 
-func TestMemoryGetSet(t *testing.T) {
-	m := NewMemory[string](4)
-	if _, err := m.Get("a"); !errors.Is(err, ErrNotFound) {
-		t.Errorf("Get on empty = %v, want ErrNotFound", err)
-	}
-	m.Set("a", "1")
-	v, err := m.Get("a")
-	if err != nil || v != "1" {
-		t.Errorf("Get = (%q, %v), want (1, nil)", v, err)
-	}
-	m.Set("a", "2") // update in place
-	v, _ = m.Get("a")
-	if v != "2" {
-		t.Errorf("updated Get = %q, want 2", v)
-	}
-	if m.Len() != 1 {
-		t.Errorf("Len = %d, want 1", m.Len())
-	}
-}
+// The Memory/Sharded behavioural contract lives in conformance_test.go and
+// runs against both implementations. This file covers the pieces outside
+// that contract: statistics edge cases, TTL jitter, the single-flight
+// group, GetOrFill/Fill, and the disk cache.
 
-func TestMemoryLRUEviction(t *testing.T) {
-	m := NewMemory[int](3)
-	m.Set("a", 1)
-	m.Set("b", 2)
-	m.Set("c", 3)
-	// Touch "a" so "b" becomes the eviction candidate.
-	if _, err := m.Get("a"); err != nil {
-		t.Fatal(err)
-	}
-	m.Set("d", 4)
-	if _, err := m.Get("b"); !errors.Is(err, ErrNotFound) {
-		t.Error("b should have been evicted")
-	}
-	for _, k := range []string{"a", "c", "d"} {
-		if _, err := m.Get(k); err != nil {
-			t.Errorf("%s should survive: %v", k, err)
-		}
-	}
-	if s := m.Stats(); s.Evictions != 1 {
-		t.Errorf("Evictions = %d, want 1", s.Evictions)
-	}
-}
-
-func TestMemoryTTLExpiry(t *testing.T) {
-	v := clock.NewVirtual(time.Unix(0, 0))
-	m := NewMemory[int](10, WithTTL[int](time.Minute), WithClock[int](v))
-	m.Set("k", 7)
-	if _, err := m.Get("k"); err != nil {
-		t.Fatalf("fresh entry: %v", err)
-	}
-	v.Advance(59 * time.Second)
-	if _, err := m.Get("k"); err != nil {
-		t.Errorf("entry expired early: %v", err)
-	}
-	v.Advance(2 * time.Second)
-	if _, err := m.Get("k"); !errors.Is(err, ErrNotFound) {
-		t.Error("entry should have expired")
-	}
-	if s := m.Stats(); s.Expired != 1 {
-		t.Errorf("Expired = %d, want 1", s.Expired)
-	}
-}
-
-func TestMemorySetTTLOverride(t *testing.T) {
-	v := clock.NewVirtual(time.Unix(0, 0))
-	m := NewMemory[int](10, WithTTL[int](time.Second), WithClock[int](v))
-	m.SetTTL("forever", 1, 0) // explicit no-expiry overrides default
-	v.Advance(time.Hour)
-	if _, err := m.Get("forever"); err != nil {
-		t.Errorf("no-TTL entry expired: %v", err)
-	}
-}
-
-func TestMemoryDeleteContains(t *testing.T) {
-	m := NewMemory[int](4)
-	m.Set("a", 1)
-	if !m.Contains("a") {
-		t.Error("Contains(a) = false")
-	}
-	if !m.Delete("a") {
-		t.Error("Delete(a) = false, want true")
-	}
-	if m.Delete("a") {
-		t.Error("second Delete(a) = true, want false")
-	}
-	if m.Contains("a") {
-		t.Error("Contains after Delete = true")
-	}
-}
-
-func TestMemoryContainsExpired(t *testing.T) {
-	v := clock.NewVirtual(time.Unix(0, 0))
-	m := NewMemory[int](4, WithClock[int](v))
-	m.SetTTL("a", 1, time.Second)
-	v.Advance(2 * time.Second)
-	if m.Contains("a") {
-		t.Error("Contains should be false for expired entry")
-	}
-}
-
-func TestMemoryPurge(t *testing.T) {
-	v := clock.NewVirtual(time.Unix(0, 0))
-	m := NewMemory[int](10, WithClock[int](v))
-	m.SetTTL("a", 1, time.Second)
-	m.SetTTL("b", 2, time.Hour)
-	m.SetTTL("c", 3, 0)
-	v.Advance(time.Minute)
-	if removed := m.Purge(); removed != 1 {
-		t.Errorf("Purge removed %d, want 1", removed)
-	}
-	if m.Len() != 2 {
-		t.Errorf("Len after Purge = %d, want 2", m.Len())
-	}
-}
-
-func TestMemoryKeysMRUOrder(t *testing.T) {
-	m := NewMemory[int](4)
-	m.Set("a", 1)
-	m.Set("b", 2)
-	m.Set("c", 3)
-	if _, err := m.Get("a"); err != nil {
-		t.Fatal(err)
-	}
-	keys := m.Keys()
-	if len(keys) != 3 || keys[0] != "a" {
-		t.Errorf("Keys = %v, want a first (MRU)", keys)
-	}
-}
-
-func TestMemoryClear(t *testing.T) {
-	m := NewMemory[int](4)
-	m.Set("a", 1)
-	m.Set("b", 2)
-	m.Clear()
-	if m.Len() != 0 {
-		t.Errorf("Len after Clear = %d", m.Len())
-	}
-	if _, err := m.Get("a"); !errors.Is(err, ErrNotFound) {
-		t.Error("entry survived Clear")
-	}
-}
-
-func TestMemoryCapacityClamped(t *testing.T) {
-	m := NewMemory[int](0)
-	m.Set("a", 1)
-	m.Set("b", 2)
-	if m.Len() != 1 {
-		t.Errorf("Len = %d, want 1 (capacity clamped)", m.Len())
-	}
-}
-
-func TestHitRatio(t *testing.T) {
-	m := NewMemory[int](4)
-	m.Set("a", 1)
-	if _, err := m.Get("a"); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := m.Get("missing"); err == nil {
-		t.Fatal("expected miss")
-	}
-	s := m.Stats()
-	if s.HitRatio() != 0.5 {
-		t.Errorf("HitRatio = %v, want 0.5", s.HitRatio())
-	}
+func TestHitRatioZero(t *testing.T) {
 	if (Stats{}).HitRatio() != 0 {
 		t.Error("empty HitRatio should be 0")
 	}
 }
 
-func TestMemoryConcurrent(t *testing.T) {
-	m := NewMemory[int](128)
-	var wg sync.WaitGroup
-	for g := 0; g < 8; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			for i := 0; i < 1000; i++ {
-				k := strconv.Itoa(i % 200)
-				m.Set(k, i)
-				if _, err := m.Get(k); err != nil && !errors.Is(err, ErrNotFound) {
-					t.Errorf("Get error: %v", err)
-				}
-			}
-		}(g)
+func TestMemoryTTLJitterBounds(t *testing.T) {
+	v := clock.NewVirtual(time.Unix(0, 0))
+	m := NewMemory[int](256, WithClock(v), WithTTLJitter(0.5))
+	defer m.Close()
+	const ttl = time.Minute
+	for i := 0; i < 128; i++ {
+		m.SetTTL(fmt.Sprintf("k%d", i), i, ttl)
 	}
-	wg.Wait()
-	if m.Len() > 128 {
-		t.Errorf("Len = %d exceeds capacity", m.Len())
+	// All entries live at ttl*(1-j): nothing may expire before the lower
+	// jitter bound.
+	v.Advance(29 * time.Second)
+	if n := m.Purge(); n != 0 {
+		t.Errorf("%d entries expired before ttl*(1-jitter)", n)
 	}
-}
-
-func TestMemoryNeverExceedsCapacityProperty(t *testing.T) {
-	// Property: after any sequence of Sets, Len <= capacity.
-	f := func(keys []uint8, capRaw uint8) bool {
-		capacity := int(capRaw%16) + 1
-		m := NewMemory[int](capacity)
-		for i, k := range keys {
-			m.Set(strconv.Itoa(int(k)), i)
-			if m.Len() > capacity {
-				return false
-			}
-		}
-		return true
+	// All entries dead at ttl*(1+j).
+	v.Advance(62 * time.Second)
+	m.Purge()
+	if got := m.Len(); got != 0 {
+		t.Errorf("Len = %d after ttl*(1+jitter), want 0", got)
 	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Error(err)
+	// With 128 entries jittered over a 60s window, at least one should
+	// have expired strictly before and one strictly after the nominal
+	// TTL with overwhelming probability — i.e. expiry is de-synchronized.
+	m2 := NewMemory[int](256, WithClock(v), WithTTLJitter(0.5))
+	defer m2.Close()
+	for i := 0; i < 128; i++ {
+		m2.SetTTL(fmt.Sprintf("k%d", i), i, ttl)
+	}
+	v.Advance(ttl)
+	early := m2.Purge()
+	if early == 0 || early == 128 {
+		t.Errorf("jitter did not spread expiry: %d/128 expired at the nominal TTL", early)
 	}
 }
 
-func TestMemoryLastWriteWinsProperty(t *testing.T) {
-	// Property: a Get immediately after Set returns the Set value.
-	f := func(key uint8, vals []int) bool {
-		m := NewMemory[int](8)
-		k := strconv.Itoa(int(key))
-		for _, v := range vals {
-			m.Set(k, v)
-			got, err := m.Get(k)
-			if err != nil || got != v {
-				return false
-			}
-		}
-		return true
+func TestWithTTLJitterClamped(t *testing.T) {
+	o := defaultOptions()
+	WithTTLJitter(-1)(&o)
+	if o.jitter != 0 {
+		t.Errorf("negative jitter = %v, want 0", o.jitter)
 	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Error(err)
+	WithTTLJitter(7)(&o)
+	if o.jitter != 1 {
+		t.Errorf("oversized jitter = %v, want 1", o.jitter)
 	}
 }
 
@@ -295,38 +126,147 @@ func TestGroupPropagatesError(t *testing.T) {
 	}
 }
 
+// A duplicate caller whose context is cancelled must return ctx.Err()
+// immediately instead of waiting out the leader, and must drop out of the
+// flight's duplicate accounting.
+func TestGroupDoCtxCancelledWaiter(t *testing.T) {
+	g := NewGroup[int]()
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		v, err, _ := g.Do("k", func() (int, error) {
+			<-release
+			return 42, nil
+		})
+		if err != nil || v != 42 {
+			t.Errorf("leader Do = (%d, %v)", v, err)
+		}
+	}()
+	// Wait for the leader's flight to exist.
+	for g.Waiters("k") == -1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err, shared := g.DoCtx(ctx, "k", func() (int, error) { return 0, nil })
+		if shared {
+			t.Error("cancelled waiter reported shared = true")
+		}
+		waiterErr <- err
+	}()
+	for g.Waiters("k") < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-waiterErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled waiter error = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter still blocked on the leader")
+	}
+	// The cancelled waiter must have left the duplicate count.
+	if w := g.Waiters("k"); w != 0 {
+		t.Errorf("Waiters after cancellation = %d, want 0", w)
+	}
+	close(release)
+	<-leaderDone
+	if w := g.Waiters("k"); w != -1 {
+		t.Errorf("Waiters after completion = %d, want -1", w)
+	}
+}
+
+// A waiter whose context survives shares the leader's result even when a
+// sibling waiter cancelled mid-flight.
+func TestGroupDoCtxSurvivingWaiterShares(t *testing.T) {
+	g := NewGroup[int]()
+	release := make(chan struct{})
+	type res struct {
+		v      int
+		err    error
+		shared bool
+	}
+	leader := make(chan res, 1)
+	go func() {
+		v, err, shared := g.Do("k", func() (int, error) {
+			<-release
+			return 9, nil
+		})
+		leader <- res{v, err, shared}
+	}()
+	for g.Waiters("k") == -1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	dropped := make(chan struct{})
+	go func() {
+		defer close(dropped)
+		g.DoCtx(cancelled, "k", func() (int, error) { return 0, nil })
+	}()
+	survivor := make(chan res, 1)
+	go func() {
+		v, err, shared := g.DoCtx(context.Background(), "k", func() (int, error) { return 0, nil })
+		survivor <- res{v, err, shared}
+	}()
+	for g.Waiters("k") < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-dropped
+	close(release)
+
+	got := <-survivor
+	if got.err != nil || got.v != 9 || !got.shared {
+		t.Errorf("surviving waiter = %+v, want (9, nil, shared)", got)
+	}
+	// The leader still saw a duplicate (the survivor), so shared is true.
+	if l := <-leader; l.err != nil || !l.shared {
+		t.Errorf("leader = %+v, want shared result", l)
+	}
+}
+
 func TestGetOrFill(t *testing.T) {
 	m := NewMemory[string](4)
 	g := NewGroup[string]()
+	ctx := context.Background()
 	var fills int
 	fill := func() (string, error) {
 		fills++
 		return "value", nil
 	}
-	v, hit, err := GetOrFill(m, g, "k", fill)
+	v, hit, err := GetOrFill(ctx, m, g, "k", fill)
 	if err != nil || hit || v != "value" {
 		t.Errorf("first GetOrFill = (%q, %v, %v)", v, hit, err)
 	}
-	v, hit, err = GetOrFill(m, g, "k", fill)
+	v, hit, err = GetOrFill(ctx, m, g, "k", fill)
 	if err != nil || !hit || v != "value" {
 		t.Errorf("second GetOrFill = (%q, %v, %v), want cache hit", v, hit, err)
 	}
 	if fills != 1 {
 		t.Errorf("fill called %d times, want 1", fills)
 	}
+	// Exactly one lookup per call: 1 miss (first) + 1 hit (second).
+	if s := m.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", s)
+	}
 }
 
-func TestFillCachesWithoutExtraLookup(t *testing.T) {
+func TestFillIsStatsNeutral(t *testing.T) {
 	m := NewMemory[string](4)
 	g := NewGroup[string]()
-	v, err := Fill(m, g, "k", func() (string, error) { return "value", nil })
+	v, err := Fill(context.Background(), m, g, "k", func() (string, error) { return "value", nil })
 	if err != nil || v != "value" {
 		t.Errorf("Fill = (%q, %v)", v, err)
 	}
-	// Fill records only the in-flight re-check, so callers that probed the
-	// cache themselves don't double-count misses.
-	if s := m.Stats(); s.Hits != 0 || s.Misses != 1 {
-		t.Errorf("stats after Fill = %+v, want 0 hits / 1 miss", s)
+	// Fill's in-flight re-check is a hidden peek: callers that probed the
+	// cache themselves must not have misses double-counted.
+	if s := m.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Errorf("stats after Fill = %+v, want 0 hits / 0 misses", s)
 	}
 	if v, err := m.Get("k"); err != nil || v != "value" {
 		t.Errorf("Get after Fill = (%q, %v), want cached value", v, err)
@@ -336,12 +276,13 @@ func TestFillCachesWithoutExtraLookup(t *testing.T) {
 func TestGetOrFillErrorNotCached(t *testing.T) {
 	m := NewMemory[string](4)
 	g := NewGroup[string]()
+	ctx := context.Background()
 	boom := errors.New("boom")
-	if _, _, err := GetOrFill(m, g, "k", func() (string, error) { return "", boom }); !errors.Is(err, boom) {
+	if _, _, err := GetOrFill(ctx, m, g, "k", func() (string, error) { return "", boom }); !errors.Is(err, boom) {
 		t.Errorf("error = %v, want boom", err)
 	}
 	// Error results must not be cached; next call should retry the fill.
-	v, hit, err := GetOrFill(m, g, "k", func() (string, error) { return "ok", nil })
+	v, hit, err := GetOrFill(ctx, m, g, "k", func() (string, error) { return "ok", nil })
 	if err != nil || hit || v != "ok" {
 		t.Errorf("retry = (%q, %v, %v)", v, hit, err)
 	}
@@ -350,14 +291,16 @@ func TestGetOrFillErrorNotCached(t *testing.T) {
 func TestGetOrFillConcurrentSingleFill(t *testing.T) {
 	m := NewMemory[int](16)
 	g := NewGroup[int]()
+	ctx := context.Background()
 	var mu sync.Mutex
 	fills := 0
+	const callers = 20
 	var wg sync.WaitGroup
-	for i := 0; i < 20; i++ {
+	for i := 0; i < callers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, _, err := GetOrFill(m, g, "hot", func() (int, error) {
+			v, _, err := GetOrFill(ctx, m, g, "hot", func() (int, error) {
 				mu.Lock()
 				fills++
 				mu.Unlock()
@@ -372,6 +315,80 @@ func TestGetOrFillConcurrentSingleFill(t *testing.T) {
 	wg.Wait()
 	if fills != 1 {
 		t.Errorf("fill executed %d times, want 1 (single-flight)", fills)
+	}
+	// Each of the 20 callers probed once and missed (the stampede raced
+	// the single fill); none of the in-flight re-checks may add a second
+	// miss for the same logical lookup, so hit ratio stays exact.
+	s := m.Stats()
+	if s.Hits+s.Misses != callers {
+		t.Errorf("recorded %d lookups for %d callers: %+v", s.Hits+s.Misses, callers, s)
+	}
+}
+
+// GetOrFill with a cancelled duplicate: the waiter unblocks with ctx.Err()
+// while the leader's fill still lands in the cache.
+func TestGetOrFillContextCancelledWaiter(t *testing.T) {
+	m := NewMemory[int](16)
+	g := NewGroup[int]()
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		v, _, err := GetOrFill(context.Background(), m, g, "k", func() (int, error) {
+			<-release
+			return 5, nil
+		})
+		if err != nil || v != 5 {
+			t.Errorf("leader GetOrFill = (%d, %v)", v, err)
+		}
+	}()
+	for g.Waiters("k") == -1 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := GetOrFill(ctx, m, g, "k", func() (int, error) { return 0, nil })
+		errc <- err
+	}()
+	for g.Waiters("k") < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled GetOrFill error = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled GetOrFill still blocked")
+	}
+	close(release)
+	<-leaderDone
+	if v, err := m.Get("k"); err != nil || v != 5 {
+		t.Errorf("cache after leader fill = (%d, %v), want (5, nil)", v, err)
+	}
+}
+
+// Fill and GetOrFill accept any Store implementation; run the single-flight
+// path against the sharded cache too.
+func TestGetOrFillSharded(t *testing.T) {
+	s := NewSharded[int](64, WithShards(8))
+	defer s.Close()
+	g := NewGroup[int]()
+	ctx := context.Background()
+	fills := 0
+	for i := 0; i < 2; i++ {
+		v, hit, err := GetOrFill(ctx, s, g, "k", func() (int, error) {
+			fills++
+			return 3, nil
+		})
+		if err != nil || v != 3 || hit != (i == 1) {
+			t.Errorf("call %d = (%d, %v, %v)", i, v, hit, err)
+		}
+	}
+	if fills != 1 {
+		t.Errorf("fills = %d, want 1", fills)
 	}
 }
 
@@ -488,5 +505,60 @@ func TestDiskUnencodableValue(t *testing.T) {
 	}
 	if err := d.Set("k", make(chan int), 0); err == nil {
 		t.Error("encoding a channel should fail")
+	}
+}
+
+// Concurrent Sets of the same key must never interleave on a shared temp
+// file: every Get must decode a complete entry written by exactly one of
+// the writers. Run under `make race`.
+func TestDiskConcurrentSetSameKey(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type payload struct {
+		Writer int    `json:"writer"`
+		Body   string `json:"body"`
+	}
+	const writers, rounds = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			body := fmt.Sprintf("writer-%d-%s", w, string(make([]byte, 4096)))
+			for r := 0; r < rounds; r++ {
+				if err := d.Set("contested", payload{Writer: w, Body: body}, 0); err != nil {
+					t.Errorf("Set: %v", err)
+					return
+				}
+				var got payload
+				switch err := d.Get("contested", &got); {
+				case errors.Is(err, ErrNotFound):
+					// A concurrent rename can briefly race the read on
+					// some filesystems; absence is fine, torn data is not.
+				case err != nil:
+					t.Errorf("Get decoded a torn entry: %v", err)
+					return
+				default:
+					if got.Writer < 0 || got.Writer >= writers || len(got.Body) != len(body) {
+						t.Errorf("Get = writer %d with %d-byte body, want a complete entry", got.Writer, len(got.Body))
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// No temp files may leak once every writer has finished.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Errorf("leaked temp file %s", e.Name())
+		}
 	}
 }

@@ -15,8 +15,10 @@ import (
 // Disk is a persistent cache storing each entry as a JSON file under a
 // directory. It survives process restarts, which lets an application keep
 // serving previously fetched service responses while disconnected (paper
-// §2, §3). Disk is safe for concurrent use by a single process via
-// write-to-temp-then-rename.
+// §2, §3). Disk is safe for concurrent use: each Set writes to its own
+// uniquely named temp file and atomically renames it into place, so
+// concurrent writers of the same key never interleave and readers never
+// observe a torn entry.
 type Disk struct {
 	dir string
 	clk clock.Clock
@@ -59,12 +61,31 @@ func (d *Disk) Set(key string, value any, ttl time.Duration) error {
 	if err != nil {
 		return fmt.Errorf("cache: encode entry: %w", err)
 	}
+	// Write to a uniquely named temp file, then rename. A fixed temp name
+	// (p+".tmp") lets two concurrent Sets of the same key interleave their
+	// writes and rename a torn file; CreateTemp gives each writer its own
+	// file, and rename(2) makes whichever finishes last win atomically.
 	p := d.path(key)
-	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.CreateTemp(d.dir, "write-*.tmp")
+	if err != nil {
+		return fmt.Errorf("cache: create temp: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
 		return fmt.Errorf("cache: write temp: %w", err)
 	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cache: close temp: %w", err)
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cache: chmod temp: %w", err)
+	}
 	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("cache: rename: %w", err)
 	}
 	return nil

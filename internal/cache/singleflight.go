@@ -1,6 +1,9 @@
 package cache
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Group de-duplicates concurrent calls with the same key: while one call is
 // in flight, later callers for the same key wait for and share its result
@@ -25,14 +28,36 @@ func NewGroup[V any]() *Group[V] {
 
 // Do invokes fn once per key at a time; concurrent duplicate callers block
 // and receive the same result. shared reports whether the result was
-// produced by another caller's invocation.
+// produced by another caller's invocation. Waiters block until the leader
+// finishes; use DoCtx when a waiter must be able to give up early.
 func (g *Group[V]) Do(key string, fn func() (V, error)) (v V, err error, shared bool) {
+	return g.DoCtx(context.Background(), key, fn)
+}
+
+// DoCtx is Do with a context governing the wait: a duplicate caller whose
+// ctx is cancelled stops waiting and returns ctx.Err() immediately —
+// mirroring golang.org/x/sync/singleflight's Forget/cancel semantics —
+// instead of waiting out the leader. The cancelled waiter is removed from
+// the flight's duplicate accounting, so Waiters stays accurate.
+//
+// The leader is not interrupted: fn runs to completion regardless of ctx,
+// and its result still serves every waiter that stayed. fn should observe
+// the leader's own context internally if it needs cancellation.
+func (g *Group[V]) DoCtx(ctx context.Context, key string, fn func() (V, error)) (v V, err error, shared bool) {
 	g.mu.Lock()
 	if c, ok := g.calls[key]; ok {
 		c.dups++
 		g.mu.Unlock()
-		<-c.done
-		return c.val, c.err, true
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			g.mu.Lock()
+			c.dups--
+			g.mu.Unlock()
+			var zero V
+			return zero, ctx.Err(), false
+		}
 	}
 	c := &call[V]{done: make(chan struct{})}
 	g.calls[key] = c
@@ -40,11 +65,14 @@ func (g *Group[V]) Do(key string, fn func() (V, error)) (v V, err error, shared 
 
 	c.val, c.err = fn()
 
+	// Read dups under the lock: a cancelled waiter may be decrementing it
+	// concurrently right up until the key leaves the map.
 	g.mu.Lock()
 	delete(g.calls, key)
+	shared = c.dups > 0
 	g.mu.Unlock()
 	close(c.done)
-	return c.val, c.err, c.dups > 0
+	return c.val, c.err, shared
 }
 
 // Waiters reports how many duplicate callers are currently waiting on the
@@ -62,25 +90,34 @@ func (g *Group[V]) Waiters(key string) int {
 
 // GetOrFill returns the cached value for key, or — on a miss — invokes fill
 // (de-duplicated across concurrent callers) and caches its result. hit
-// reports whether the value came from the cache.
-func GetOrFill[V any](m *Memory[V], g *Group[V], key string, fill func() (V, error)) (v V, hit bool, err error) {
+// reports whether the value came from the cache. ctx bounds only the wait
+// for another caller's in-flight fill (see DoCtx); a caller that becomes
+// the leader runs fill to completion.
+//
+// Exactly one cache lookup is recorded per call — the initial probe — so
+// Stats.HitRatio stays meaningful under cold concurrent load.
+func GetOrFill[V any](ctx context.Context, m Store[V], g *Group[V], key string, fill func() (V, error)) (v V, hit bool, err error) {
 	if v, err := m.Get(key); err == nil {
 		return v, true, nil
 	}
-	v, err = Fill(m, g, key, fill)
+	v, err = Fill(ctx, m, g, key, fill)
 	return v, false, err
 }
 
 // Fill invokes fill for key — de-duplicated across concurrent callers — and
-// caches its result. It is the miss half of GetOrFill, for callers that have
-// already probed the cache themselves: it never records a cache miss of its
-// own, only the re-check inside the flight that lets an earlier duplicate's
-// result win.
-func Fill[V any](m *Memory[V], g *Group[V], key string, fill func() (V, error)) (V, error) {
-	v, err, _ := g.Do(key, func() (V, error) {
+// caches its result. It is the miss half of GetOrFill, for callers that
+// have already probed the cache themselves. Fill is stats-neutral: the
+// in-flight re-check that lets an earlier duplicate's result win uses a
+// hidden peek, so the caller's probe remains the only recorded lookup and
+// misses are not double-counted. ctx bounds the wait for an in-flight
+// leader, as in DoCtx.
+func Fill[V any](ctx context.Context, m Store[V], g *Group[V], key string, fill func() (V, error)) (V, error) {
+	v, err, _ := g.DoCtx(ctx, key, func() (V, error) {
 		// Re-check inside the flight: an earlier duplicate may have
-		// already filled the cache.
-		if v, err := m.Get(key); err == nil {
+		// already filled the cache. peek keeps the re-check out of the
+		// hit/miss counters — the caller's probe already recorded this
+		// logical lookup.
+		if v, ok := m.peek(key); ok {
 			return v, nil
 		}
 		v, err := fill()

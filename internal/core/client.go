@@ -69,6 +69,19 @@ type Config struct {
 	// CacheTTL expires cached responses. 0 means no expiry. The paper
 	// notes cached values can become obsolete; a TTL bounds staleness.
 	CacheTTL time.Duration
+	// CacheShards sets the response cache's shard count (rounded up to a
+	// power of two, capped at CacheSize). 0 picks a default sized to the
+	// machine's parallelism. Concurrent cache hits for different keys
+	// contend per shard instead of on one global mutex.
+	CacheShards int
+	// CacheTTLJitter spreads each cached response's effective TTL over
+	// [TTL·(1-j), TTL·(1+j)], de-synchronizing expiry stampedes. 0
+	// disables jitter; values are clamped to [0, 1].
+	CacheTTLJitter float64
+	// CacheJanitor runs a background sweep reclaiming expired cache
+	// entries every interval (on Clock), so they stop pinning memory
+	// until capacity eviction. 0 disables the janitor; Close stops it.
+	CacheJanitor time.Duration
 	// Scorer ranks services. Nil means Equation 1 with DefaultWeights.
 	Scorer rank.Scorer
 	// DefaultRetry applies to services registered without their own
@@ -148,7 +161,7 @@ type Client struct {
 	cfg        Config
 	registry   *service.Registry
 	monitors   *metrics.Registry
-	memcache   *cache.Memory[service.Response]
+	memcache   *cache.Sharded[service.Response]
 	flight     *cache.Group[service.Response]
 	pool       *future.Pool
 	predictors *PredictorSet
@@ -171,7 +184,12 @@ func NewClient(cfg Config) (*Client, error) {
 		cfg:        cfg,
 		registry:   service.NewRegistry(),
 		monitors:   metrics.NewRegistry(metrics.WithClock(cfg.Clock)),
-		memcache:   cache.NewMemory[service.Response](cfg.CacheSize, cache.WithTTL[service.Response](cfg.CacheTTL), cache.WithClock[service.Response](cfg.Clock)),
+		memcache: cache.NewSharded[service.Response](cfg.CacheSize,
+			cache.WithTTL(cfg.CacheTTL),
+			cache.WithClock(cfg.Clock),
+			cache.WithShards(cfg.CacheShards),
+			cache.WithTTLJitter(cfg.CacheTTLJitter),
+			cache.WithJanitor(cfg.CacheJanitor)),
 		flight:     cache.NewGroup[service.Response](),
 		pool:       pool,
 		predictors: NewPredictorSet(cfg.Predict),
@@ -184,9 +202,12 @@ func NewClient(cfg Config) (*Client, error) {
 	return c, nil
 }
 
-// Close releases the client's async pool, waiting for in-flight async
-// invocations to finish.
-func (c *Client) Close() { c.pool.Close() }
+// Close releases the client's async pool — waiting for in-flight async
+// invocations to finish — and stops the cache janitor, if configured.
+func (c *Client) Close() {
+	c.pool.Close()
+	c.memcache.Close()
+}
 
 // RegisterOption customizes one service registration.
 type RegisterOption func(*registration)
@@ -591,8 +612,13 @@ func (c *Client) InvokeAll(ctx context.Context, category string, req service.Req
 	return failover.InvokeAll(ctx, c.cfg.Clock, wrapped, req), nil
 }
 
-// CacheStats returns the response cache's activity counters.
+// CacheStats returns the response cache's activity counters, merged
+// across shards.
 func (c *Client) CacheStats() cache.Stats { return c.memcache.Stats() }
+
+// CacheShardStats returns each cache shard's counters in shard order, for
+// per-shard gauges and balance diagnostics.
+func (c *Client) CacheShardStats() []cache.Stats { return c.memcache.ShardStats() }
 
 // InvalidateCache drops every cached response (paper §2: "consistency
 // issues may arise in which a cached value is obsolete").

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"repro/internal/metrics"
 	"repro/internal/service"
@@ -296,6 +297,21 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	tw.Metric("richsdk_cache_misses_total", float64(cs.Misses))
 	tw.Family("richsdk_cache_evictions_total", "Response-cache evictions.", "counter")
 	tw.Metric("richsdk_cache_evictions_total", float64(cs.Evictions))
+	tw.Family("richsdk_cache_expired_total", "Expired response-cache entries reclaimed.", "counter")
+	tw.Metric("richsdk_cache_expired_total", float64(cs.Expired))
+	tw.Family("richsdk_cache_hit_ratio", "Response-cache hit ratio: hits / (hits + misses).", "gauge")
+	tw.Metric("richsdk_cache_hit_ratio", cs.HitRatio())
+	tw.Family("richsdk_cache_size", "Response-cache entries currently held.", "gauge")
+	tw.Metric("richsdk_cache_size", float64(cs.Size))
+	shardStats := a.client.CacheShardStats()
+	tw.Family("richsdk_cache_shard_size", "Response-cache entries held per shard.", "gauge")
+	for i, ss := range shardStats {
+		tw.Metric("richsdk_cache_shard_size", float64(ss.Size), metrics.Label{Name: "shard", Value: strconv.Itoa(i)})
+	}
+	tw.Family("richsdk_cache_shard_evictions_total", "Response-cache evictions per shard.", "counter")
+	for i, ss := range shardStats {
+		tw.Metric("richsdk_cache_shard_evictions_total", float64(ss.Evictions), metrics.Label{Name: "shard", Value: strconv.Itoa(i)})
+	}
 
 	if states := a.client.BreakerStates(); len(states) > 0 {
 		tw.Family("richsdk_breaker_state", "Circuit-breaker state: 0 closed, 1 half-open, 2 open.", "gauge")

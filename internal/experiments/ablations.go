@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -29,7 +30,7 @@ func RunA1(scale Scale) ([]A1Row, Table, error) {
 	concurrency := 16
 	rounds := scale.n(40)
 	run := func(useFlight bool, ttl time.Duration) (int, float64) {
-		mem := cache.NewMemory[int](1024, cache.WithTTL[int](ttl))
+		mem := cache.NewMemory[int](1024, cache.WithTTL(ttl))
 		group := cache.NewGroup[int]()
 		var mu sync.Mutex
 		backendCalls := 0
@@ -50,7 +51,7 @@ func RunA1(scale Scale) ([]A1Row, Table, error) {
 				go func() {
 					defer wg.Done()
 					if useFlight {
-						_, _, _ = cache.GetOrFill(mem, group, key, fill)
+						_, _, _ = cache.GetOrFill(context.Background(), mem, group, key, fill)
 						return
 					}
 					if _, err := mem.Get(key); err == nil {

@@ -66,7 +66,9 @@ type Client struct {
 	http *http.Client
 	cdc  codec.Codec
 
-	memcache *cache.Memory[[]byte]
+	// memcache is sharded so concurrent cached reads contend per shard,
+	// not on one global mutex.
+	memcache *cache.Sharded[[]byte]
 
 	mu      sync.Mutex
 	offline bool
@@ -93,7 +95,7 @@ func NewClient(cfg ClientConfig) *Client {
 		cdc:  cdc,
 	}
 	if cfg.CacheSize > 0 {
-		c.memcache = cache.NewMemory[[]byte](cfg.CacheSize, cache.WithTTL[[]byte](cfg.CacheTTL))
+		c.memcache = cache.NewSharded[[]byte](cfg.CacheSize, cache.WithTTL(cfg.CacheTTL))
 	}
 	return c
 }
