@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check cover bench fmt
+.PHONY: build test vet race check cover bench bench-rdf fmt
 
 build:
 	$(GO) build ./...
@@ -15,8 +15,8 @@ vet:
 # layer's concurrency tests (sharded stores, singleflight cancellation,
 # concurrent disk writers). Timing-sensitive guards
 # (TestPipelineOverheadCacheHit, TestTraceOverheadFacade,
-# TestShardedCacheShape) skip themselves here; run plain `make test` to
-# exercise them.
+# TestShardedCacheShape, TestRDFInferenceShape's timing leg) skip
+# themselves here; run plain `make test` to exercise them.
 race:
 	$(GO) test -race ./...
 
@@ -27,7 +27,7 @@ check: vet race
 cover:
 	$(GO) test -cover ./...
 
-# bench runs the experiment benchmarks (E1–E16, A1–A4) from bench_test.go
+# bench runs the experiment benchmarks (E1–E17, A1–A4) from bench_test.go
 # plus the cache micro-benchmarks (BenchmarkCacheHitParallel compares the
 # single-mutex and sharded stores at 1/8/64-goroutine parallelism).
 # Narrow with BENCH, e.g. `make bench BENCH=BenchmarkE1Caching` or
@@ -35,6 +35,15 @@ cover:
 BENCH ?= .
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem . ./internal/cache
+
+# bench-rdf runs the RDF engine benchmarks: the interned store vs the
+# frozen pre-PR string-keyed baseline (internal/rdf/rdfref) on joins
+# (BenchmarkSolveJoin), two-bound matches, and forward chaining
+# (BenchmarkForwardChainTransitive — the roundcap/naive-stringstore leg
+# takes seconds per iteration by design; it is the baseline being beaten),
+# plus the knowledge-base Infer/Prove benchmarks on the cached rule set.
+bench-rdf:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem ./internal/rdf ./internal/kb
 
 fmt:
 	gofmt -w .

@@ -424,10 +424,53 @@ func TestE16PipelineShape(t *testing.T) {
 	assertRenders(t, table)
 }
 
+func TestE17InferenceScalingShape(t *testing.T) {
+	rows, table, err := RunE17(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCase := map[string][]E17Row{}
+	for _, r := range rows {
+		byCase[r.Case] = append(byCase[r.Case], r)
+	}
+	naive, semi := byCase["chain/naive"], byCase["chain/semi-naive"]
+	if len(naive) < 2 || len(semi) <= len(naive) {
+		t.Fatalf("chain rows = %d naive / %d semi, want semi to cover more sizes", len(naive), len(semi))
+	}
+	for i, nr := range naive {
+		sr := semi[i]
+		if nr.N != sr.N || nr.Facts != sr.Facts {
+			t.Errorf("engines disagree at row %d: %+v vs %+v", i, nr, sr)
+		}
+		// A linear chain of n nodes closes to C(n,2) reaches facts.
+		if want := nr.N * (nr.N - 1) / 2; nr.Facts != want {
+			t.Errorf("chain %d derived %d facts, want %d", nr.N, nr.Facts, want)
+		}
+		// Semi-naive derives each fact exactly once on the linear rule
+		// set; naive re-derives the closure every round.
+		if sr.Derivations != sr.Facts {
+			t.Errorf("chain %d: semi-naive fired %d rules for %d facts", sr.N, sr.Derivations, sr.Facts)
+		}
+		if nr.Derivations <= sr.Derivations {
+			t.Errorf("chain %d: naive fired %d rules, semi-naive %d — no re-derivation saved", nr.N, nr.Derivations, sr.Derivations)
+		}
+	}
+	for _, c := range []string{"join/baseline-worst-order", "join/baseline-best-order", "join/planner-worst-order"} {
+		jr := byCase[c]
+		if len(jr) != 1 {
+			t.Fatalf("join case %s has %d rows", c, len(jr))
+		}
+		if jr[0].Facts == 0 || jr[0].Facts != byCase["join/baseline-worst-order"][0].Facts {
+			t.Errorf("join case %s returned %d rows", c, jr[0].Facts)
+		}
+	}
+	assertRenders(t, table)
+}
+
 func TestRegistryComplete(t *testing.T) {
 	entries := All()
-	if len(entries) != 20 {
-		t.Errorf("registry has %d entries, want 20 (E1-E16 + A1-A4)", len(entries))
+	if len(entries) != 21 {
+		t.Errorf("registry has %d entries, want 21 (E1-E17 + A1-A4)", len(entries))
 	}
 	seen := map[string]bool{}
 	for _, e := range entries {

@@ -28,9 +28,7 @@ func (k *KB) FactConfidence(subject, predicate, object string) float64 {
 // level. Derivations weaker than minThreshold are discarded. It returns
 // how many facts were newly asserted or had their level raised.
 func (k *KB) InferWithConfidence(minThreshold float64) (int, error) {
-	base := append([]rdf.Rule{}, rdf.TransitiveRules()...)
-	base = append(base, rdf.RDFSRules()...)
-	base = append(base, k.rules...)
+	base := k.allRules()
 	rules := make([]rdf.ConfidentRule, 0, len(base))
 	for _, r := range base {
 		rules = append(rules, rdf.ConfidentRule{Rule: r, Confidence: 1})

@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"sync"
 
 	"repro/internal/aggregate"
 	"repro/internal/codec"
@@ -60,8 +61,14 @@ type KB struct {
 	disamb *nlu.Disambiguator
 	spell  *spell.Checker
 	cdc    codec.Codec
-	rules  []rdf.Rule
 	conf   *rdf.Confidences
+
+	ruleMu sync.Mutex
+	rules  []rdf.Rule
+	// composed caches TransitiveRules + RDFSRules + user rules so Infer
+	// and Prove don't rebuild (and ForwardChain doesn't re-validate) the
+	// slice on every Fig. 5 cycle; AddRule invalidates it.
+	composed []rdf.Rule
 }
 
 // New creates a knowledge base from cfg.
@@ -171,25 +178,36 @@ func (k *KB) AddRule(r rdf.Rule) error {
 	if err := r.Validate(); err != nil {
 		return err
 	}
+	k.ruleMu.Lock()
 	k.rules = append(k.rules, r)
+	k.composed = nil
+	k.ruleMu.Unlock()
 	return nil
+}
+
+// allRules returns the cached composition of the built-in reasoners
+// (transitive + RDFS) with the user rules, rebuilding it only after
+// AddRule. Callers must not mutate the returned slice.
+func (k *KB) allRules() []rdf.Rule {
+	k.ruleMu.Lock()
+	defer k.ruleMu.Unlock()
+	if k.composed == nil {
+		rules := append([]rdf.Rule{}, rdf.TransitiveRules()...)
+		rules = append(rules, rdf.RDFSRules()...)
+		k.composed = append(rules, k.rules...)
+	}
+	return k.composed
 }
 
 // Infer forward-chains the built-in reasoners (transitive + RDFS) plus all
 // user rules to fixpoint and returns how many new facts were derived.
 func (k *KB) Infer() (int, error) {
-	rules := append([]rdf.Rule{}, rdf.TransitiveRules()...)
-	rules = append(rules, rdf.RDFSRules()...)
-	rules = append(rules, k.rules...)
-	return rdf.ForwardChain(k.graph, rules, 0)
+	return rdf.ForwardChain(k.graph, k.allRules(), 0)
 }
 
 // Prove backward-chains a goal against facts plus user rules.
 func (k *KB) Prove(goal rdf.Statement) ([]rdf.Binding, error) {
-	rules := append([]rdf.Rule{}, rdf.TransitiveRules()...)
-	rules = append(rules, rdf.RDFSRules()...)
-	rules = append(rules, k.rules...)
-	return rdf.BackwardChain(k.graph, rules, goal, 0)
+	return rdf.BackwardChain(k.graph, k.allRules(), goal, 0)
 }
 
 // Query runs a SPARQL-like query against the RDF store.

@@ -1,0 +1,75 @@
+package rdf
+
+// wildID marks an unbound position in internal ID patterns and an unbound
+// variable slot in solver rows. Dictionary IDs are assigned densely from
+// zero, so they can never collide with it.
+const wildID = ^uint32(0)
+
+// termDict is the two-way symbol table at the heart of the interned
+// store: each distinct Term is assigned a dense uint32 ID on first sight,
+// after which statements, indexes, and join rows handle IDs only — term
+// bytes are touched once at the boundary, never inside a join.
+//
+// IDs are never reclaimed: Remove leaves dictionary entries in place so
+// IDs stay stable for compiled rule patterns and concurrent readers. The
+// dictionary grows with the number of distinct terms ever seen, which for
+// this workload (a per-user knowledge base) is bounded by the vocabulary,
+// not the statement count. Synchronization is the owning Graph's lock.
+type termDict struct {
+	ids   map[Term]uint32
+	terms []Term
+}
+
+func newTermDict() *termDict {
+	return &termDict{ids: make(map[Term]uint32)}
+}
+
+// intern returns t's ID, assigning the next free one on first sight.
+func (d *termDict) intern(t Term) uint32 {
+	if id, ok := d.ids[t]; ok {
+		return id
+	}
+	id := uint32(len(d.terms))
+	d.ids[t] = id
+	d.terms = append(d.terms, t)
+	return id
+}
+
+// lookup returns t's ID without assigning one. A miss means no stored
+// statement can contain t.
+func (d *termDict) lookup(t Term) (uint32, bool) {
+	id, ok := d.ids[t]
+	return id, ok
+}
+
+// term maps an ID back to its Term.
+func (d *termDict) term(id uint32) Term { return d.terms[id] }
+
+// compareTerm orders terms by (Kind, Value) without building key strings;
+// it backs the sorted deterministic contract of Match/All/Query.
+func compareTerm(a, b Term) int {
+	if a.Kind != b.Kind {
+		if a.Kind < b.Kind {
+			return -1
+		}
+		return 1
+	}
+	if a.Value != b.Value {
+		if a.Value < b.Value {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// compareStatement orders statements by (S, P, O) term order.
+func compareStatement(a, b Statement) int {
+	if c := compareTerm(a.S, b.S); c != 0 {
+		return c
+	}
+	if c := compareTerm(a.P, b.P); c != 0 {
+		return c
+	}
+	return compareTerm(a.O, b.O)
+}

@@ -1,0 +1,92 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseQuery drives the SPARQL-subset parser and tokenizer with
+// arbitrary input (go test -fuzz=FuzzParseQuery ./internal/rdf). The
+// parser must never panic; on accepted input the parsed structure must
+// satisfy its own invariants, and running the query against a small graph
+// must stay well-behaved.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"SELECT ?a ?b WHERE { ?a <p> ?b }",
+		"SELECT * WHERE { ?s <rdf:type> <Person> . ?s <name> \"Alice A.\" }",
+		`SELECT ?s WHERE { ?s <name> "dot . inside" }`,
+		"SELECT ?x WHERE { <a b> ?x _:blank }",
+		"select ?x where { ?x ?y ?z }",
+		"SELECT ?x WHERE { \"unterminated }",
+		"SELECT ?x WHERE { <unterminated }",
+		"SELECT ?where WHERE { ?where <p> ?where }",
+		"SELECT ?x WHERE { . . . }",
+		"SELECT ?x WHERE { ?x <p> \"\" }",
+		"SELECT ?x WHERE { ?x <p.q> <r.s> }",
+		"SELECT WHERE { }",
+		"SELECT ?x WHERE { ?x <p> ?y . }",
+		"SELECT ?x\nWHERE\t{ ?x <p> ?y }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	g := NewGraph()
+	g.MustAdd(Statement{S: NewIRI("a"), P: NewIRI("p"), O: NewLiteral("dot . inside")})
+	g.MustAdd(Statement{S: NewIRI("a"), P: NewIRI("p"), O: NewIRI("b")})
+	f.Fuzz(func(t *testing.T, q string) {
+		vars, patterns, err := parseQuery(q)
+		if err != nil {
+			if _, qerr := g.Query(q); qerr == nil {
+				t.Fatalf("parseQuery rejected %q but Query accepted it", q)
+			}
+			return
+		}
+		if len(patterns) == 0 {
+			t.Fatalf("parseQuery(%q) accepted a query with no patterns", q)
+		}
+		for _, v := range vars {
+			if v == "" {
+				t.Fatalf("parseQuery(%q) produced an empty variable name", q)
+			}
+			if strings.ContainsAny(v, " \t\n") {
+				t.Fatalf("parseQuery(%q) produced variable %q with whitespace", q, v)
+			}
+		}
+		for _, p := range patterns {
+			for _, term := range []Term{p.S, p.P, p.O} {
+				if term.Zero() {
+					t.Fatalf("parseQuery(%q) produced a zero term in %s", q, p)
+				}
+			}
+		}
+		// A parseable query must execute without panicking; semantic
+		// errors (unknown selected variable) are still allowed.
+		_, _ = g.Query(q)
+	})
+}
+
+// FuzzSplitTerms targets the pattern tokenizer directly: quoted literals,
+// angle-bracket IRIs, and whitespace handling.
+func FuzzSplitTerms(f *testing.F) {
+	for _, s := range []string{
+		`?s <name> "Alice A."`,
+		`<a> <b c> "d e"`,
+		`"unterminated`,
+		`<unterminated`,
+		"a\tb\nc",
+		`"" <> ?`,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		fields, err := splitTerms(s)
+		if err != nil {
+			return
+		}
+		for _, field := range fields {
+			if field == "" {
+				t.Fatalf("splitTerms(%q) produced an empty field", s)
+			}
+		}
+	})
+}

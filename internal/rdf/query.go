@@ -2,7 +2,6 @@ package rdf
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -60,28 +59,6 @@ func unify(p, s Statement, b Binding) Binding {
 	return out
 }
 
-// Solve finds all bindings satisfying every pattern (a basic graph
-// pattern), joining patterns left to right with backtracking.
-func (g *Graph) Solve(patterns []Statement) []Binding {
-	results := []Binding{{}}
-	for _, p := range patterns {
-		var next []Binding
-		for _, b := range results {
-			ground := substitute(p, b)
-			for _, s := range g.Match(ground) {
-				if nb := unify(ground, s, b); nb != nil {
-					next = append(next, nb)
-				}
-			}
-		}
-		results = next
-		if len(results) == 0 {
-			return nil
-		}
-	}
-	return results
-}
-
 // QueryResult is the tabular output of a SPARQL-like query.
 type QueryResult struct {
 	Vars []string
@@ -118,36 +95,50 @@ func (g *Graph) Query(q string) (QueryResult, error) {
 			}
 		}
 	}
-	bindings := g.Solve(patterns)
+	sols := g.SolveRows(patterns)
 	res := QueryResult{Vars: vars}
-	seenRows := make(map[string]bool)
-	for _, b := range bindings {
-		row := make([]Term, len(vars))
-		var key strings.Builder
-		for i, v := range vars {
-			t, ok := b[v]
-			if !ok {
-				return QueryResult{}, fmt.Errorf("rdf: selected variable ?%s is unbound", v)
+	if len(sols.Rows) == 0 {
+		return res, nil
+	}
+	// Project the solver columns onto the SELECT list, then sort and
+	// dedupe adjacent duplicates — same result set as the old
+	// string-keyed dedupe, without building a key per row.
+	colIdx := make([]int, len(vars))
+	for i, v := range vars {
+		for j, sv := range sols.Vars {
+			if sv == v {
+				colIdx[i] = j
+				break
 			}
-			row[i] = t
-			key.WriteString(t.key())
-			key.WriteByte('\x02')
 		}
-		if !seenRows[key.String()] {
-			seenRows[key.String()] = true
+	}
+	nv := len(vars)
+	flat := make([]Term, 0, len(sols.Rows)*nv)
+	for _, row := range sols.Rows {
+		for _, ci := range colIdx {
+			flat = append(flat, row[ci])
+		}
+	}
+	rows := make([][]Term, len(sols.Rows))
+	for i := range rows {
+		rows[i] = flat[i*nv : (i+1)*nv : (i+1)*nv]
+	}
+	sortRows(rows)
+	for i, row := range rows {
+		if i == 0 || !rowsEqual(row, res.Rows[len(res.Rows)-1]) {
 			res.Rows = append(res.Rows, row)
 		}
 	}
-	sort.Slice(res.Rows, func(i, j int) bool {
-		for k := range res.Rows[i] {
-			a, b := res.Rows[i][k].key(), res.Rows[j][k].key()
-			if a != b {
-				return a < b
-			}
-		}
-		return false
-	})
 	return res, nil
+}
+
+func rowsEqual(a, b []Term) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // parseQuery parses "SELECT ?x ?y WHERE { pattern . pattern }".

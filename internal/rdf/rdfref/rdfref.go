@@ -1,0 +1,318 @@
+// Package rdfref is the frozen pre-interning reference implementation of
+// the RDF substrate: a string-keyed triple store with per-position key-set
+// indexes, a left-to-right backtracking Solve, and a naive
+// recompute-the-world forward chainer. It exists for two jobs and is
+// deliberately not optimized:
+//
+//   - Equivalence oracle: it is small enough to be trivially correct, so
+//     the ID-based engine in package rdf is tested against it over
+//     randomized workloads (internal/rdf/oracle_test.go).
+//   - Performance baseline: benchmarks and the TestRDFInferenceShape
+//     guard measure the interned store's join planner and semi-naive
+//     evaluation against this seed-state engine, the same way the cache
+//     and middleware guards keep a hand-inlined replica of their seed
+//     paths.
+//
+// The matching/solving semantics mirror package rdf exactly: zero terms
+// and variables are wildcards in Match, Solve unifies shared variables
+// across patterns, and ForwardChain applies every rule against the full
+// graph each round until no new statement appears.
+package rdfref
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+func termKey(t rdf.Term) string {
+	return string([]byte{byte('0' + t.Kind)}) + "\x00" + t.Value
+}
+
+func stmtKey(s rdf.Statement) string {
+	return termKey(s.S) + "\x01" + termKey(s.P) + "\x01" + termKey(s.O)
+}
+
+// Graph is the pre-PR string-keyed indexed triple store, safe for
+// concurrent use (the mutex is part of the measured seed path).
+type Graph struct {
+	mu    sync.RWMutex
+	stmts map[string]rdf.Statement
+	byS   map[string]map[string]struct{} // subject key -> statement keys
+	byP   map[string]map[string]struct{}
+	byO   map[string]map[string]struct{}
+}
+
+// New returns an empty reference graph.
+func New() *Graph {
+	return &Graph{
+		stmts: make(map[string]rdf.Statement),
+		byS:   make(map[string]map[string]struct{}),
+		byP:   make(map[string]map[string]struct{}),
+		byO:   make(map[string]map[string]struct{}),
+	}
+}
+
+// Add inserts a ground statement, reporting whether it was new.
+func (g *Graph) Add(s rdf.Statement) (bool, error) {
+	if !s.Ground() {
+		return false, fmt.Errorf("rdfref: cannot store non-ground statement %s", s)
+	}
+	k := stmtKey(s)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.stmts[k]; dup {
+		return false, nil
+	}
+	g.stmts[k] = s
+	addIndex(g.byS, termKey(s.S), k)
+	addIndex(g.byP, termKey(s.P), k)
+	addIndex(g.byO, termKey(s.O), k)
+	return true, nil
+}
+
+// MustAdd is Add that panics on error.
+func (g *Graph) MustAdd(s rdf.Statement) {
+	if _, err := g.Add(s); err != nil {
+		panic(err)
+	}
+}
+
+// Remove deletes a statement, reporting whether it was present.
+func (g *Graph) Remove(s rdf.Statement) bool {
+	k := stmtKey(s)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.stmts[k]; !ok {
+		return false
+	}
+	delete(g.stmts, k)
+	delIndex(g.byS, termKey(s.S), k)
+	delIndex(g.byP, termKey(s.P), k)
+	delIndex(g.byO, termKey(s.O), k)
+	return true
+}
+
+// Has reports whether the ground statement is stored.
+func (g *Graph) Has(s rdf.Statement) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.stmts[stmtKey(s)]
+	return ok
+}
+
+// Len returns the number of stored statements.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.stmts)
+}
+
+// All returns every statement, sorted for determinism.
+func (g *Graph) All() []rdf.Statement {
+	g.mu.RLock()
+	out := make([]rdf.Statement, 0, len(g.stmts))
+	for _, s := range g.stmts {
+		out = append(out, s)
+	}
+	g.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return stmtKey(out[i]) < stmtKey(out[j]) })
+	return out
+}
+
+// Match returns all statements matching the pattern, where variable or
+// zero terms match anything.
+func (g *Graph) Match(pattern rdf.Statement) []rdf.Statement {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	candidates := g.candidateKeys(pattern)
+	var out []rdf.Statement
+	for k := range candidates {
+		s := g.stmts[k]
+		if matches(pattern, s) {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return stmtKey(out[i]) < stmtKey(out[j]) })
+	return out
+}
+
+// candidateKeys picks the smallest index set covering the pattern. The
+// all-wildcard branch materializes a copy of the whole statement map —
+// preserved as-is because this is the seed behavior the interned store's
+// iterator was built to replace.
+func (g *Graph) candidateKeys(pattern rdf.Statement) map[string]struct{} {
+	var opts []map[string]struct{}
+	if bound(pattern.S) {
+		opts = append(opts, g.byS[termKey(pattern.S)])
+	}
+	if bound(pattern.P) {
+		opts = append(opts, g.byP[termKey(pattern.P)])
+	}
+	if bound(pattern.O) {
+		opts = append(opts, g.byO[termKey(pattern.O)])
+	}
+	if len(opts) == 0 {
+		all := make(map[string]struct{}, len(g.stmts))
+		for k := range g.stmts {
+			all[k] = struct{}{}
+		}
+		return all
+	}
+	best := opts[0]
+	for _, o := range opts[1:] {
+		if len(o) < len(best) {
+			best = o
+		}
+	}
+	if best == nil {
+		return map[string]struct{}{}
+	}
+	return best
+}
+
+func bound(t rdf.Term) bool { return !t.IsVar() && !t.Zero() }
+
+func matches(pattern, s rdf.Statement) bool {
+	return termMatches(pattern.S, s.S) && termMatches(pattern.P, s.P) && termMatches(pattern.O, s.O)
+}
+
+func termMatches(p, t rdf.Term) bool {
+	if !bound(p) {
+		return true
+	}
+	return p == t
+}
+
+func addIndex(idx map[string]map[string]struct{}, key, stmt string) {
+	set := idx[key]
+	if set == nil {
+		set = make(map[string]struct{})
+		idx[key] = set
+	}
+	set[stmt] = struct{}{}
+}
+
+func delIndex(idx map[string]map[string]struct{}, key, stmt string) {
+	if set := idx[key]; set != nil {
+		delete(set, stmt)
+		if len(set) == 0 {
+			delete(idx, key)
+		}
+	}
+}
+
+func substitute(p rdf.Statement, b rdf.Binding) rdf.Statement {
+	return rdf.Statement{S: substTerm(p.S, b), P: substTerm(p.P, b), O: substTerm(p.O, b)}
+}
+
+func substTerm(t rdf.Term, b rdf.Binding) rdf.Term {
+	if t.IsVar() {
+		if v, ok := b[t.Value]; ok {
+			return v
+		}
+	}
+	return t
+}
+
+func clone(b rdf.Binding) rdf.Binding {
+	out := make(rdf.Binding, len(b)+1)
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+func unify(p, s rdf.Statement, b rdf.Binding) rdf.Binding {
+	out := b
+	cloned := false
+	bindOne := func(pt, st rdf.Term) bool {
+		if !pt.IsVar() {
+			return pt.Zero() || pt == st
+		}
+		if cur, ok := out[pt.Value]; ok {
+			return cur == st
+		}
+		if !cloned {
+			out = clone(out)
+			cloned = true
+		}
+		out[pt.Value] = st
+		return true
+	}
+	if !bindOne(p.S, s.S) || !bindOne(p.P, s.P) || !bindOne(p.O, s.O) {
+		return nil
+	}
+	if !cloned {
+		out = clone(out)
+	}
+	return out
+}
+
+// Solve finds all bindings satisfying every pattern, joining patterns
+// strictly left to right with backtracking (no reordering): the author's
+// pattern order is the join order, which is what makes this the baseline
+// for the planner's join-order sweep.
+func (g *Graph) Solve(patterns []rdf.Statement) []rdf.Binding {
+	results := []rdf.Binding{{}}
+	for _, p := range patterns {
+		var next []rdf.Binding
+		for _, b := range results {
+			ground := substitute(p, b)
+			for _, s := range g.Match(ground) {
+				if nb := unify(ground, s, b); nb != nil {
+					next = append(next, nb)
+				}
+			}
+		}
+		results = next
+		if len(results) == 0 {
+			return nil
+		}
+	}
+	return results
+}
+
+// ForwardChain applies the rules naively to fixpoint: every round re-joins
+// every rule against the full graph and re-derives the facts of all
+// previous rounds, which is exactly the O(rounds x full-graph join) cost
+// profile the semi-naive evaluator in package rdf eliminates. It returns
+// the number of new statements.
+func ForwardChain(g *Graph, rules []rdf.Rule, maxIterations int) (int, error) {
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return 0, err
+		}
+	}
+	if maxIterations <= 0 {
+		maxIterations = 1000
+	}
+	totalNew := 0
+	for iter := 0; iter < maxIterations; iter++ {
+		newThisRound := 0
+		for _, rule := range rules {
+			for _, b := range g.Solve(rule.Premises) {
+				for _, c := range rule.Conclusions {
+					ground := substitute(c, b)
+					if !ground.Ground() {
+						return totalNew, fmt.Errorf("rdfref: rule %s produced non-ground %s", rule.Name, ground)
+					}
+					added, err := g.Add(ground)
+					if err != nil {
+						return totalNew, err
+					}
+					if added {
+						newThisRound++
+					}
+				}
+			}
+		}
+		totalNew += newThisRound
+		if newThisRound == 0 {
+			return totalNew, nil
+		}
+	}
+	return totalNew, fmt.Errorf("rdfref: forward chaining did not converge in %d iterations", maxIterations)
+}

@@ -42,46 +42,220 @@ func (r Rule) Validate() error {
 	return nil
 }
 
+// ChainStats reports forward-chaining work: Rounds is the number of
+// evaluation rounds run, Derived the number of new statements added to
+// the graph, and Derivations the number of conclusion instantiations
+// produced — Derivations minus Derived is pure re-derivation waste. On
+// linear-recursive rule sets semi-naive evaluation produces each fact
+// exactly once, so Derivations == Derived; the naive strategy re-derives
+// the entire closure every round.
+type ChainStats struct {
+	Rounds      int
+	Derived     int
+	Derivations int
+}
+
 // ForwardChain applies the rules to the graph until fixpoint, asserting
 // every derivable statement. It returns the number of new statements and
 // supports the paper's Figure 5 loop: analysis results enter the store,
 // inference generates new facts. maxIterations bounds runaway rule sets
 // (0 means 1000).
+//
+// Evaluation is semi-naive: each round joins rule premises only against
+// the delta derived in the previous round (see ForwardChainStats).
 func ForwardChain(g *Graph, rules []Rule, maxIterations int) (int, error) {
+	stats, err := ForwardChainStats(g, rules, maxIterations)
+	return stats.Derived, err
+}
+
+// ForwardChainStats is ForwardChain with delta accounting. Each round a
+// rule with premises P1..Pk is evaluated once per premise index i, with
+// Pi scanning only the previous round's delta, P1..Pi-1 the pre-delta
+// graph, and Pi+1..Pk the full graph — every premise combination that
+// includes at least one delta fact is enumerated exactly once, and
+// combinations entirely inside the older graph (already derived in an
+// earlier round) are never revisited. Facts derived in a round become the
+// next round's delta; the initial delta is the whole graph, making round
+// one equivalent to a naive round. On non-convergence the stats
+// accumulated so far are returned alongside the error.
+func ForwardChainStats(g *Graph, rules []Rule, maxIterations int) (ChainStats, error) {
+	var stats ChainStats
 	for _, r := range rules {
 		if err := r.Validate(); err != nil {
-			return 0, err
+			return stats, err
 		}
 	}
 	if maxIterations <= 0 {
 		maxIterations = 1000
 	}
-	totalNew := 0
-	for iter := 0; iter < maxIterations; iter++ {
-		newThisRound := 0
-		for _, rule := range rules {
-			for _, b := range g.Solve(rule.Premises) {
-				for _, c := range rule.Conclusions {
-					ground := substitute(c, b)
-					if !ground.Ground() {
-						return totalNew, fmt.Errorf("rdf: rule %s produced non-ground %s", rule.Name, ground)
-					}
-					added, err := g.Add(ground)
-					if err != nil {
-						return totalNew, err
-					}
-					if added {
-						newThisRound++
-					}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	compiled, err := g.compileRules(rules)
+	if err != nil {
+		return stats, err
+	}
+	deltaList := make([]triple, 0, len(g.stmts))
+	for t := range g.stmts {
+		deltaList = append(deltaList, t)
+	}
+	deltaSet := make(map[triple]struct{}, len(deltaList))
+	for _, t := range deltaList {
+		deltaSet[t] = struct{}{}
+	}
+	for round := 0; round < maxIterations; round++ {
+		newList, newSet := g.chainRound(compiled, deltaList, deltaSet, &stats)
+		stats.Rounds++
+		if len(newList) == 0 {
+			return stats, nil
+		}
+		for _, t := range newList {
+			g.addLocked(t)
+		}
+		stats.Derived += len(newList)
+		deltaList, deltaSet = newList, newSet
+	}
+	return stats, fmt.Errorf("rdf: forward chaining did not converge in %d iterations", maxIterations)
+}
+
+// ForwardChainNaive is the pre-semi-naive evaluation strategy, kept as
+// the measured baseline for experiment E17 and TestRDFInferenceShape:
+// every round joins every rule against the full graph, re-deriving the
+// whole closure so far. It buffers each round's conclusions exactly like
+// the semi-naive evaluator, so both strategies add the same fact set in
+// every round and differ only in Derivations and work done. On
+// non-convergence the stats so far are returned alongside the error.
+func ForwardChainNaive(g *Graph, rules []Rule, maxIterations int) (ChainStats, error) {
+	var stats ChainStats
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return stats, err
+		}
+	}
+	if maxIterations <= 0 {
+		maxIterations = 1000
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	compiled, err := g.compileRules(rules)
+	if err != nil {
+		return stats, err
+	}
+	for round := 0; round < maxIterations; round++ {
+		newList, _ := g.chainRound(compiled, nil, nil, &stats)
+		stats.Rounds++
+		if len(newList) == 0 {
+			return stats, nil
+		}
+		for _, t := range newList {
+			g.addLocked(t)
+		}
+		stats.Derived += len(newList)
+	}
+	return stats, fmt.Errorf("rdf: forward chaining did not converge in %d iterations", maxIterations)
+}
+
+// crule is a rule compiled to ID form over a shared variable-slot space:
+// premises and conclusions reference the same slots, so a premise
+// solution row instantiates conclusions without any map lookups.
+type crule struct {
+	name  string
+	prem  []cpat
+	concl []cpat
+	nvars int
+}
+
+// compileRules interns every rule constant (caller holds the write lock).
+// Interning rather than looking up matters: a premise constant that no
+// stored fact mentions yet may start matching once another rule derives
+// it, so its ID must exist up front.
+func (g *Graph) compileRules(rules []Rule) ([]crule, error) {
+	compiled := make([]crule, len(rules))
+	for i, r := range rules {
+		all := make([]Statement, 0, len(r.Premises)+len(r.Conclusions))
+		all = append(all, r.Premises...)
+		all = append(all, r.Conclusions...)
+		pats, vars := g.compileBGP(all, true)
+		compiled[i] = crule{
+			name:  r.Name,
+			prem:  pats[:len(r.Premises)],
+			concl: pats[len(r.Premises):],
+			nvars: len(vars),
+		}
+		for ci, c := range compiled[i].concl {
+			for pos := 0; pos < 3; pos++ {
+				if c.kind[pos] == cWild {
+					return nil, fmt.Errorf("rdf: rule %s produced non-ground %s", r.Name, r.Conclusions[ci])
 				}
 			}
 		}
-		totalNew += newThisRound
-		if newThisRound == 0 {
-			return totalNew, nil
+	}
+	return compiled, nil
+}
+
+// chainRound evaluates one round of every rule, buffering conclusions
+// instead of mutating the graph mid-join. With a nil deltaSet it runs one
+// naive round (all premises over the full graph); otherwise it runs the
+// semi-naive premise-splitting described on ForwardChainStats. It returns
+// the new (deduplicated, not-yet-stored) triples. Caller holds the write
+// lock.
+func (g *Graph) chainRound(compiled []crule, deltaList []triple, deltaSet map[triple]struct{}, stats *ChainStats) ([]triple, map[triple]struct{}) {
+	var newList []triple
+	newSet := make(map[triple]struct{})
+	for ri := range compiled {
+		r := &compiled[ri]
+		variants := 1
+		if deltaSet != nil && len(r.prem) > 0 {
+			variants = len(r.prem)
+		}
+		pats := make([]cpat, len(r.prem))
+		row := make([]uint32, r.nvars)
+		for v := 0; v < variants; v++ {
+			copy(pats, r.prem)
+			if deltaSet != nil {
+				for j := range pats {
+					switch {
+					case j < v:
+						pats[j].src = srcOld
+					case j == v:
+						pats[j].src = srcDelta
+					default:
+						pats[j].src = srcFull
+					}
+				}
+			}
+			exec := solveExec{
+				g:         g,
+				pats:      pats,
+				order:     g.planOrder(pats, r.nvars, len(deltaList)),
+				row:       row,
+				deltaList: deltaList,
+				deltaSet:  deltaSet,
+			}
+			exec.emit = func(row []uint32) {
+				for _, c := range r.concl {
+					stats.Derivations++
+					var t triple
+					for pos := 0; pos < 3; pos++ {
+						if c.kind[pos] == cConst {
+							t[pos] = c.id[pos]
+						} else {
+							t[pos] = row[c.slot[pos]]
+						}
+					}
+					if _, in := g.stmts[t]; in {
+						continue
+					}
+					if _, in := newSet[t]; in {
+						continue
+					}
+					newSet[t] = struct{}{}
+					newList = append(newList, t)
+				}
+			}
+			exec.run()
 		}
 	}
-	return totalNew, fmt.Errorf("rdf: forward chaining did not converge in %d iterations", maxIterations)
+	return newList, newSet
 }
 
 // BackwardChain proves goal (a pattern, possibly with variables) against

@@ -7,6 +7,12 @@
 // and property lattices, an RDF-Schema rule reasoner, and a generic rule
 // reasoner supporting user-defined rules with forward chaining and
 // backward chaining.
+//
+// Internally the store interns every term to a uint32 through a term
+// dictionary and keeps statements as [3]uint32 ID triples in three
+// composite positional indexes (SPO, POS, OSP), so pattern matching,
+// joins, and inference run over integer IDs; term bytes are only touched
+// at the public API boundary. See DESIGN.md "RDF store internals".
 package rdf
 
 import (
@@ -62,8 +68,9 @@ func (t Term) String() string {
 	}
 }
 
-// key is the interning key: kind-tagged value. Kind fits one byte; avoid
-// fmt to keep Match/Solve hot paths allocation-light.
+// key is a kind-tagged map key for external per-statement bookkeeping
+// (Confidences, the prover's tables). The store itself no longer keys
+// anything by strings — statements live as interned ID triples.
 func (t Term) key() string {
 	return string([]byte{byte('0' + t.Kind)}) + "\x00" + t.Value
 }
@@ -94,22 +101,39 @@ func (s Statement) Ground() bool {
 	return true
 }
 
+// triple is a statement in interned form: dictionary IDs for S, P, O.
+type triple = [3]uint32
+
 // Graph is an indexed triple store, safe for concurrent use.
+//
+// Statements are interned ID triples. The three composite indexes each
+// cover one rotation of the triple — spo (s→p→objects), pos (p→o→
+// subjects), osp (o→s→predicates) — so every one- and two-bound pattern
+// shape binds directly to a posting list with no residual filter scan,
+// and the per-position count maps give the join planner exact
+// cardinalities for bound constants.
 type Graph struct {
 	mu    sync.RWMutex
-	stmts map[string]Statement
-	byS   map[string]map[string]struct{} // subject key -> statement keys
-	byP   map[string]map[string]struct{}
-	byO   map[string]map[string]struct{}
+	dict  *termDict
+	stmts map[triple]struct{}
+	spo   map[uint32]map[uint32][]uint32
+	pos   map[uint32]map[uint32][]uint32
+	osp   map[uint32]map[uint32][]uint32
+	// Per-term statement counts by position, for selectivity estimates.
+	nS, nP, nO map[uint32]int
 }
 
 // NewGraph returns an empty graph.
 func NewGraph() *Graph {
 	return &Graph{
-		stmts: make(map[string]Statement),
-		byS:   make(map[string]map[string]struct{}),
-		byP:   make(map[string]map[string]struct{}),
-		byO:   make(map[string]map[string]struct{}),
+		dict:  newTermDict(),
+		stmts: make(map[triple]struct{}),
+		spo:   make(map[uint32]map[uint32][]uint32),
+		pos:   make(map[uint32]map[uint32][]uint32),
+		osp:   make(map[uint32]map[uint32][]uint32),
+		nS:    make(map[uint32]int),
+		nP:    make(map[uint32]int),
+		nO:    make(map[uint32]int),
 	}
 }
 
@@ -119,17 +143,24 @@ func (g *Graph) Add(s Statement) (bool, error) {
 	if !s.Ground() {
 		return false, fmt.Errorf("rdf: cannot store non-ground statement %s", s)
 	}
-	k := s.key()
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if _, dup := g.stmts[k]; dup {
-		return false, nil
+	return g.addLocked(triple{g.dict.intern(s.S), g.dict.intern(s.P), g.dict.intern(s.O)}), nil
+}
+
+// addLocked inserts an interned triple; caller holds the write lock.
+func (g *Graph) addLocked(t triple) bool {
+	if _, dup := g.stmts[t]; dup {
+		return false
 	}
-	g.stmts[k] = s
-	addIndex(g.byS, s.S.key(), k)
-	addIndex(g.byP, s.P.key(), k)
-	addIndex(g.byO, s.O.key(), k)
-	return true, nil
+	g.stmts[t] = struct{}{}
+	postingAdd(g.spo, t[0], t[1], t[2])
+	postingAdd(g.pos, t[1], t[2], t[0])
+	postingAdd(g.osp, t[2], t[0], t[1])
+	g.nS[t[0]]++
+	g.nP[t[1]]++
+	g.nO[t[2]]++
+	return true
 }
 
 // MustAdd is Add that panics on error, for literal test/setup data.
@@ -139,33 +170,42 @@ func (g *Graph) MustAdd(s Statement) {
 	}
 }
 
-// AddAll inserts many statements, returning how many were new.
+// AddAll inserts many statements under one lock, returning how many were
+// new.
 func (g *Graph) AddAll(stmts []Statement) (int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	added := 0
 	for _, s := range stmts {
-		ok, err := g.Add(s)
-		if err != nil {
-			return added, err
+		if !s.Ground() {
+			return added, fmt.Errorf("rdf: cannot store non-ground statement %s", s)
 		}
-		if ok {
+		if g.addLocked(triple{g.dict.intern(s.S), g.dict.intern(s.P), g.dict.intern(s.O)}) {
 			added++
 		}
 	}
 	return added, nil
 }
 
-// Remove deletes a statement, reporting whether it was present.
+// Remove deletes a statement, reporting whether it was present. Dictionary
+// entries are kept: term IDs stay valid for the graph's lifetime.
 func (g *Graph) Remove(s Statement) bool {
-	k := s.key()
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if _, ok := g.stmts[k]; !ok {
+	t, ok := g.lookupTriple(s)
+	if !ok {
 		return false
 	}
-	delete(g.stmts, k)
-	delIndex(g.byS, s.S.key(), k)
-	delIndex(g.byP, s.P.key(), k)
-	delIndex(g.byO, s.O.key(), k)
+	if _, ok := g.stmts[t]; !ok {
+		return false
+	}
+	delete(g.stmts, t)
+	postingDel(g.spo, t[0], t[1], t[2])
+	postingDel(g.pos, t[1], t[2], t[0])
+	postingDel(g.osp, t[2], t[0], t[1])
+	countDec(g.nS, t[0])
+	countDec(g.nP, t[1])
+	countDec(g.nO, t[2])
 	return true
 }
 
@@ -173,7 +213,11 @@ func (g *Graph) Remove(s Statement) bool {
 func (g *Graph) Has(s Statement) bool {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	_, ok := g.stmts[s.key()]
+	t, ok := g.lookupTriple(s)
+	if !ok {
+		return false
+	}
+	_, ok = g.stmts[t]
 	return ok
 }
 
@@ -188,65 +232,120 @@ func (g *Graph) Len() int {
 func (g *Graph) All() []Statement {
 	g.mu.RLock()
 	out := make([]Statement, 0, len(g.stmts))
-	for _, s := range g.stmts {
-		out = append(out, s)
+	for t := range g.stmts {
+		out = append(out, g.statement(t))
 	}
 	g.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	sort.Slice(out, func(i, j int) bool { return compareStatement(out[i], out[j]) < 0 })
 	return out
 }
 
 // Match returns all statements matching the pattern, where variable or
-// zero terms match anything. The most selective available index drives the
-// scan.
+// zero terms match anything, sorted for determinism. The matching itself
+// is a direct index walk over interned IDs; only the result materializes
+// terms.
 func (g *Graph) Match(pattern Statement) []Statement {
 	g.mu.RLock()
-	defer g.mu.RUnlock()
-	candidates := g.candidateKeys(pattern)
 	var out []Statement
-	for k := range candidates {
-		s := g.stmts[k]
-		if matches(pattern, s) {
-			out = append(out, s)
-		}
+	if want, ok := g.compileMatch(pattern); ok {
+		g.forEach(want, func(t triple) {
+			out = append(out, g.statement(t))
+		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	g.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return compareStatement(out[i], out[j]) < 0 })
 	return out
 }
 
-// candidateKeys picks the smallest index set covering the pattern; caller
-// holds at least a read lock.
-func (g *Graph) candidateKeys(pattern Statement) map[string]struct{} {
-	type idxOpt struct {
-		set map[string]struct{}
+// lookupTriple interns nothing: a miss on any position means the
+// statement cannot be stored. Caller holds a lock.
+func (g *Graph) lookupTriple(s Statement) (triple, bool) {
+	si, ok := g.dict.lookup(s.S)
+	if !ok {
+		return triple{}, false
 	}
-	var opts []idxOpt
-	if bound(pattern.S) {
-		opts = append(opts, idxOpt{g.byS[pattern.S.key()]})
+	pi, ok := g.dict.lookup(s.P)
+	if !ok {
+		return triple{}, false
 	}
-	if bound(pattern.P) {
-		opts = append(opts, idxOpt{g.byP[pattern.P.key()]})
+	oi, ok := g.dict.lookup(s.O)
+	if !ok {
+		return triple{}, false
 	}
-	if bound(pattern.O) {
-		opts = append(opts, idxOpt{g.byO[pattern.O.key()]})
-	}
-	if len(opts) == 0 {
-		all := make(map[string]struct{}, len(g.stmts))
-		for k := range g.stmts {
-			all[k] = struct{}{}
+	return triple{si, pi, oi}, true
+}
+
+// compileMatch translates a pattern to an ID pattern (wildID per unbound
+// position). ok is false when a bound term is absent from the dictionary,
+// i.e. the pattern cannot match anything. Caller holds a lock.
+func (g *Graph) compileMatch(pattern Statement) (triple, bool) {
+	want := triple{wildID, wildID, wildID}
+	for i, t := range [3]Term{pattern.S, pattern.P, pattern.O} {
+		if !bound(t) {
+			continue
 		}
-		return all
+		id, ok := g.dict.lookup(t)
+		if !ok {
+			return want, false
+		}
+		want[i] = id
 	}
-	best := opts[0].set
-	for _, o := range opts[1:] {
-		if len(o.set) < len(best) {
-			best = o.set
+	return want, true
+}
+
+// statement materializes an interned triple. Caller holds a lock.
+func (g *Graph) statement(t triple) Statement {
+	return Statement{S: g.dict.term(t[0]), P: g.dict.term(t[1]), O: g.dict.term(t[2])}
+}
+
+// forEach calls fn for every stored triple matching the ID pattern
+// (wildID positions match anything). Each bound-position combination
+// binds to exactly one index rotation, so there is never a residual
+// filter and never a per-call candidate set; the all-wildcard case walks
+// the statement map directly. Caller holds at least a read lock; fn must
+// not mutate the graph.
+func (g *Graph) forEach(want triple, fn func(triple)) {
+	s, p, o := want[0], want[1], want[2]
+	switch {
+	case s != wildID && p != wildID && o != wildID:
+		if _, ok := g.stmts[want]; ok {
+			fn(want)
+		}
+	case s != wildID && p != wildID:
+		for _, oo := range g.spo[s][p] {
+			fn(triple{s, p, oo})
+		}
+	case p != wildID && o != wildID:
+		for _, ss := range g.pos[p][o] {
+			fn(triple{ss, p, o})
+		}
+	case s != wildID && o != wildID:
+		for _, pp := range g.osp[o][s] {
+			fn(triple{s, pp, o})
+		}
+	case s != wildID:
+		for pp, list := range g.spo[s] {
+			for _, oo := range list {
+				fn(triple{s, pp, oo})
+			}
+		}
+	case p != wildID:
+		for oo, list := range g.pos[p] {
+			for _, ss := range list {
+				fn(triple{ss, p, oo})
+			}
+		}
+	case o != wildID:
+		for ss, list := range g.osp[o] {
+			for _, pp := range list {
+				fn(triple{ss, pp, o})
+			}
+		}
+	default:
+		for t := range g.stmts {
+			fn(t)
 		}
 	}
-	if best == nil {
-		return map[string]struct{}{}
-	}
-	return best
 }
 
 func bound(t Term) bool { return !t.IsVar() && !t.Zero() }
@@ -262,21 +361,44 @@ func termMatches(p, t Term) bool {
 	return p == t
 }
 
-func addIndex(idx map[string]map[string]struct{}, key, stmt string) {
-	set := idx[key]
-	if set == nil {
-		set = make(map[string]struct{})
-		idx[key] = set
+// postingAdd appends c to the a→b posting list.
+func postingAdd(idx map[uint32]map[uint32][]uint32, a, b, c uint32) {
+	inner := idx[a]
+	if inner == nil {
+		inner = make(map[uint32][]uint32)
+		idx[a] = inner
 	}
-	set[stmt] = struct{}{}
+	inner[b] = append(inner[b], c)
 }
 
-func delIndex(idx map[string]map[string]struct{}, key, stmt string) {
-	if set := idx[key]; set != nil {
-		delete(set, stmt)
-		if len(set) == 0 {
-			delete(idx, key)
+// postingDel swap-removes c from the a→b posting list, pruning emptied
+// levels. Posting lists are unordered; public results sort on the way out.
+func postingDel(idx map[uint32]map[uint32][]uint32, a, b, c uint32) {
+	inner := idx[a]
+	list := inner[b]
+	for i, v := range list {
+		if v == c {
+			last := len(list) - 1
+			list[i] = list[last]
+			list = list[:last]
+			break
 		}
+	}
+	if len(list) == 0 {
+		delete(inner, b)
+		if len(inner) == 0 {
+			delete(idx, a)
+		}
+	} else {
+		inner[b] = list
+	}
+}
+
+func countDec(counts map[uint32]int, id uint32) {
+	if counts[id] <= 1 {
+		delete(counts, id)
+	} else {
+		counts[id]--
 	}
 }
 
