@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check cover bench bench-rdf fmt
+.PHONY: build test vet race check cover bench bench-rdf bench-search fmt
 
 build:
 	$(GO) build ./...
@@ -15,8 +15,9 @@ vet:
 # layer's concurrency tests (sharded stores, singleflight cancellation,
 # concurrent disk writers). Timing-sensitive guards
 # (TestPipelineOverheadCacheHit, TestTraceOverheadFacade,
-# TestShardedCacheShape, TestRDFInferenceShape's timing leg) skip
-# themselves here; run plain `make test` to exercise them.
+# TestShardedCacheShape, TestRDFInferenceShape's and TestSearchShape's
+# timing legs) skip themselves here; run plain `make test` to exercise
+# them.
 race:
 	$(GO) test -race ./...
 
@@ -27,7 +28,7 @@ check: vet race
 cover:
 	$(GO) test -cover ./...
 
-# bench runs the experiment benchmarks (E1–E17, A1–A4) from bench_test.go
+# bench runs the experiment benchmarks (E1–E18, A1–A4) from bench_test.go
 # plus the cache micro-benchmarks (BenchmarkCacheHitParallel compares the
 # single-mutex and sharded stores at 1/8/64-goroutine parallelism).
 # Narrow with BENCH, e.g. `make bench BENCH=BenchmarkE1Caching` or
@@ -44,6 +45,14 @@ bench:
 # plus the knowledge-base Infer/Prove benchmarks on the cached rule set.
 bench-rdf:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem ./internal/rdf ./internal/kb
+
+# bench-search runs the search engine benchmarks: the dictionary-coded
+# block-max top-k evaluator vs the frozen seed full-scan baseline
+# (internal/search/searchref) at 1k/10k/50k-doc corpora
+# (BenchmarkSearchBaseline vs BenchmarkSearchPruned), plus the
+# query-expansion path (BenchmarkSearchExpanded) and index construction.
+bench-search:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem ./internal/search
 
 fmt:
 	gofmt -w .

@@ -22,12 +22,15 @@ import (
 	"repro/internal/predict"
 	"repro/internal/rdf"
 	"repro/internal/rdf/rdfref"
+	"repro/internal/search"
+	"repro/internal/search/searchref"
 	"repro/internal/service"
 	"repro/internal/trace"
+	"repro/internal/webcorpus"
 )
 
 // Each benchmark regenerates one experiment table from DESIGN.md's
-// per-experiment index (E1-E15 reproduce paper claims; E16-E17 measure
+// per-experiment index (E1-E15 reproduce paper claims; E16-E18 measure
 // this repo's own engines; A1-A4 are design ablations). Benchmarks run
 // the experiment at a reduced scale per
 // iteration; run cmd/benchmark for full-scale tables.
@@ -78,6 +81,7 @@ func BenchmarkE14Redundancy(b *testing.B)     { benchExperiment(b, "E14") }
 func BenchmarkE15Vision(b *testing.B)         { benchExperiment(b, "E15") }
 func BenchmarkE16Pipeline(b *testing.B)       { benchExperiment(b, "E16") }
 func BenchmarkE17RDFScaling(b *testing.B)     { benchExperiment(b, "E17") }
+func BenchmarkE18SearchScaling(b *testing.B)  { benchExperiment(b, "E18") }
 func BenchmarkA1CacheAblation(b *testing.B)   { benchExperiment(b, "A1") }
 func BenchmarkA2ScoreAblation(b *testing.B)   { benchExperiment(b, "A2") }
 func BenchmarkA3PredictAblation(b *testing.B) { benchExperiment(b, "A3") }
@@ -89,7 +93,7 @@ func TestEveryExperimentHasABenchmark(t *testing.T) {
 		"E1": true, "E2": true, "E3": true, "E4": true, "E5": true,
 		"E6": true, "E7": true, "E8": true, "E9": true, "E10": true,
 		"E11": true, "E12": true, "E13": true, "E14": true, "E15": true,
-		"E16": true, "E17": true,
+		"E16": true, "E17": true, "E18": true,
 		"A1": true, "A2": true, "A3": true, "A4": true,
 	}
 	for _, e := range experiments.All() {
@@ -799,5 +803,89 @@ func TestRDFInferenceShape(t *testing.T) {
 	if baseBest < 5*semiBest {
 		t.Errorf("semi-naive (%v) is only %.1fx faster than the pre-PR naive baseline (%v), want >= 5x",
 			semiBest, float64(baseBest)/float64(semiBest), baseBest)
+	}
+}
+
+// TestSearchShape is the tier-1 guard for the dictionary-coded block-max
+// search engine (PR "intern, prune, and expand the search substrate"):
+// on a 50k-doc corpus at k=10 the pruned evaluator must return exactly
+// the exhaustive baseline's top-k (same docs, same tie-break order) and
+// beat the frozen seed engine by >= 5x.
+func TestSearchShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search guard skipped in -short mode")
+	}
+	const docs = 50000
+	const limit = 10
+	corpus := webcorpus.Generate(webcorpus.Config{Seed: 18, NumDocs: docs})
+	idx := search.BuildIndex(corpus)
+	ref := searchref.BuildIndex(corpus)
+	refParams := searchref.Params{Scoring: searchref.BM25, K1: 1.2, B: 0.75, TitleBoost: 2}
+	queries := []struct {
+		q    string
+		news bool
+	}{
+		{"market", false},
+		{"market technology growth investment", false},
+		{"acme corporation earnings", false},
+		{"germany trade policy", true},
+		{"committee schedule conference", false},
+	}
+
+	// Correctness: pruned top-k == exhaustive top-k, exactly.
+	for _, qc := range queries {
+		got := idx.Search(qc.q, search.TuningG, search.Options{Limit: limit, NewsOnly: qc.news})
+		want := ref.Search(qc.q, refParams, searchref.Options{Limit: limit, NewsOnly: qc.news})
+		if len(got) != len(want) {
+			t.Fatalf("q=%q: pruned returned %d results, exhaustive %d", qc.q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].DocID != want[i].DocID {
+				t.Fatalf("q=%q rank %d: pruned %s, exhaustive %s", qc.q, i, got[i].DocID, want[i].DocID)
+			}
+		}
+	}
+
+	if raceEnabled {
+		t.Skip("timing leg skipped under the race detector: instrumentation distorts relative costs")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	prunedRun := func() time.Duration {
+		start := time.Now()
+		for _, qc := range queries {
+			idx.Search(qc.q, search.TuningG, search.Options{Limit: limit, NewsOnly: qc.news})
+		}
+		return time.Since(start)
+	}
+	baselineRun := func() time.Duration {
+		start := time.Now()
+		for _, qc := range queries {
+			ref.Search(qc.q, refParams, searchref.Options{Limit: limit, NewsOnly: qc.news})
+		}
+		return time.Since(start)
+	}
+	measure := func(rounds int) (prunedBest, baseBest time.Duration) {
+		prunedBest, baseBest = 1<<62, 1<<62
+		for r := 0; r < rounds; r++ {
+			runtime.GC()
+			var pr, ba time.Duration
+			if r%2 == 0 {
+				pr, ba = prunedRun(), baselineRun()
+			} else {
+				ba, pr = baselineRun(), prunedRun()
+			}
+			prunedBest, baseBest = min(prunedBest, pr), min(baseBest, ba)
+		}
+		return prunedBest, baseBest
+	}
+	prunedBest, baseBest := measure(2)
+	if baseBest < 5*prunedBest {
+		prunedBest, baseBest = measure(3) // could be interference; re-measure before failing
+	}
+	t.Logf("%d-doc corpus, %d queries at k=%d: pruned %v, seed baseline %v, speedup %.1fx",
+		docs, len(queries), limit, prunedBest, baseBest, float64(baseBest)/float64(prunedBest))
+	if baseBest < 5*prunedBest {
+		t.Errorf("pruned engine (%v) is only %.1fx faster than the seed baseline (%v), want >= 5x",
+			prunedBest, float64(baseBest)/float64(prunedBest), baseBest)
 	}
 }

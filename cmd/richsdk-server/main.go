@@ -201,9 +201,11 @@ func registerBuiltins(client *core.Client, corpusDocs int, seed int64) error {
 			return err
 		}
 	}
-	// Three search engines over one generated web corpus.
+	// Three search engines over one generated web corpus. The index is
+	// built with expansion tables so clients can pass expand=true; the
+	// engines' tunings differ in how aggressively they use them.
 	corpus := webcorpus.Generate(webcorpus.Config{Seed: seed, NumDocs: corpusDocs})
-	index := search.BuildIndex(corpus)
+	index := search.BuildIndex(corpus, search.WithExpansion(lexicon.PMIConfig{}))
 	searchEngines := []struct {
 		name   string
 		params search.Params

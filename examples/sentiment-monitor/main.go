@@ -58,7 +58,7 @@ func run() error {
 		return err
 	}
 	defer client.Close()
-	index := search.BuildIndex(corpus)
+	index := search.BuildIndex(corpus, search.WithExpansion(lexicon.PMIConfig{}))
 	sengine := search.NewEngine("search-g", index, search.TuningG)
 	sinfo := service.Info{Name: "search-g", Category: "search"}
 	if err := client.Register(simsvc.New(simsvc.Config{
@@ -101,11 +101,14 @@ func run() error {
 		Limit:    25,
 		Workers:  8,
 		Store:    store,
+		// Query expansion pulls in documents that mention the topic only
+		// through aliases or strongly co-occurring terms.
+		Expand: true,
 	}.Run(context.Background(), query)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("query %q returned %d documents\n", query, res.Hits)
+	fmt.Printf("query %q returned %d documents (query expansion on)\n", query, res.Hits)
 	fmt.Printf("saved search snapshot %s (%d documents)\n", res.SearchID, len(res.Docs))
 
 	// Aggregate: which entities dominate the topic, and how favorably is
@@ -182,6 +185,7 @@ func run() error {
 		Limit:    25,
 		Workers:  8,
 		Store:    store,
+		Expand:   true,
 	}.Run(context.Background(), query)
 	if err != nil {
 		return err

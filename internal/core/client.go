@@ -181,9 +181,9 @@ func NewClient(cfg Config) (*Client, error) {
 		return nil, fmt.Errorf("core: async pool: %w", err)
 	}
 	c := &Client{
-		cfg:        cfg,
-		registry:   service.NewRegistry(),
-		monitors:   metrics.NewRegistry(metrics.WithClock(cfg.Clock)),
+		cfg:      cfg,
+		registry: service.NewRegistry(),
+		monitors: metrics.NewRegistry(metrics.WithClock(cfg.Clock)),
 		memcache: cache.NewSharded[service.Response](cfg.CacheSize,
 			cache.WithTTL(cfg.CacheTTL),
 			cache.WithClock(cfg.Clock),

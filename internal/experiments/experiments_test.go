@@ -469,8 +469,8 @@ func TestE17InferenceScalingShape(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	entries := All()
-	if len(entries) != 21 {
-		t.Errorf("registry has %d entries, want 21 (E1-E17 + A1-A4)", len(entries))
+	if len(entries) != 22 {
+		t.Errorf("registry has %d entries, want 22 (E1-E18 + A1-A4)", len(entries))
 	}
 	seen := map[string]bool{}
 	for _, e := range entries {
@@ -499,5 +499,40 @@ func assertRenders(t *testing.T, table Table) {
 	out := buf.String()
 	if !strings.Contains(out, table.ID) || len(table.Rows) == 0 {
 		t.Errorf("table %s rendered badly:\n%s", table.ID, out)
+	}
+}
+
+func TestE18SearchScalingShape(t *testing.T) {
+	rows, table, err := RunE18(Scale(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRenders(t, table)
+	byCase := map[string][]E18Row{}
+	for _, r := range rows {
+		byCase[r.Case] = append(byCase[r.Case], r)
+	}
+	base, pruned := byCase["baseline/full-scan"], byCase["pruned/block-max"]
+	if len(base) != 3 || len(pruned) != 3 || len(byCase["pruned/block-max+expand"]) != 3 {
+		t.Fatalf("row counts per case = %d/%d/%d, want 3 sizes each",
+			len(base), len(pruned), len(byCase["pruned/block-max+expand"]))
+	}
+	for i := range pruned {
+		if pruned[i].Docs != base[i].Docs {
+			t.Fatalf("size mismatch at row %d", i)
+		}
+		if pruned[i].Scored == 0 {
+			t.Errorf("docs=%d: evaluator scored no candidates", pruned[i].Docs)
+		}
+		if pruned[i].Pruned+pruned[i].BlockSkips == 0 {
+			t.Errorf("docs=%d: no candidates pruned — bound checks are dead", pruned[i].Docs)
+		}
+	}
+	// RunE18 itself fails if rankings ever disagree; here only sanity on
+	// the speedup direction at the largest size (timing, so lenient).
+	last := len(pruned) - 1
+	if pruned[last].Speedup < 1 {
+		t.Logf("warning: pruned engine slower than baseline at docs=%d (speedup %.2f)",
+			pruned[last].Docs, pruned[last].Speedup)
 	}
 }

@@ -1,0 +1,292 @@
+package lexicon
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// This file is the query-expansion layer: a synonym/alias table seeded
+// from the entity gazetteer plus a corpus-derived PMI co-occurrence
+// ("c-token") table built at index time. Search engines expand query
+// terms through an Expander so that, e.g., a query for "usa" also
+// retrieves documents that only say "america" — with a weight below the
+// original term's so exact matches still dominate. The expansion weight
+// and breadth are tuned per engine profile, which is one of the axes on
+// which the G/B/Y search tunings genuinely diverge.
+
+// Expansion is one weighted expansion term. Weight is a relatedness
+// confidence in (0, 1]; engines multiply it by their own expansion
+// weight before scoring.
+type Expansion struct {
+	Term   string
+	Weight float64
+}
+
+// synonymWeight is the relatedness assigned to token pairs drawn from
+// the same gazetteer entity's surface forms ("usa" ↔ "america"). Alias
+// identity is strong evidence, so it sits near the top of the scale.
+const synonymWeight = 0.8
+
+// Expander merges the two expansion sources behind one lookup. The
+// synonym table is static (built from the gazetteer); the co-occurrence
+// table is optional and corpus-derived (see PMIBuilder). An Expander is
+// immutable after construction and safe for concurrent use.
+type Expander struct {
+	syn  map[string][]Expansion
+	cooc map[string][]Expansion
+}
+
+// NewExpander builds an expander over the gazetteer synonym table with
+// no co-occurrence source. Use WithCooccurrence to attach one.
+func NewExpander() *Expander {
+	return &Expander{syn: synonymTable()}
+}
+
+// WithCooccurrence returns a copy of x that also consults the given
+// corpus-derived table (term → neighbors, as produced by
+// PMIBuilder.Build).
+func (x *Expander) WithCooccurrence(table map[string][]Expansion) *Expander {
+	return &Expander{syn: x.syn, cooc: table}
+}
+
+// Expand returns up to max expansion terms for term, strongest first
+// (weight descending, then term ascending for determinism). The term
+// itself is never returned. Synonym and co-occurrence candidates are
+// merged; a term suggested by both keeps its larger weight.
+func (x *Expander) Expand(term string, max int) []Expansion {
+	if max <= 0 {
+		return nil
+	}
+	merged := make(map[string]float64)
+	for _, e := range x.syn[term] {
+		if e.Weight > merged[e.Term] {
+			merged[e.Term] = e.Weight
+		}
+	}
+	for _, e := range x.cooc[term] {
+		if e.Weight > merged[e.Term] {
+			merged[e.Term] = e.Weight
+		}
+	}
+	delete(merged, term)
+	if len(merged) == 0 {
+		return nil
+	}
+	out := make([]Expansion, 0, len(merged))
+	for t, w := range merged {
+		out = append(out, Expansion{Term: t, Weight: w})
+	}
+	sortExpansions(out)
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// sortExpansions orders by weight descending, term ascending.
+func sortExpansions(s []Expansion) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Weight != s[j].Weight {
+			return s[i].Weight > s[j].Weight
+		}
+		return s[i].Term < s[j].Term
+	})
+}
+
+// synonymTable links every content token of an entity's surface forms to
+// every other content token of the same entity: "usa", "america",
+// "united", and "states" all expand to one another because they are
+// surface forms (or parts of surface forms) of country:us. Tokens are
+// lower-cased; stopwords and single-character tokens are dropped, the
+// same filter the search index applies.
+func synonymTable() map[string][]Expansion {
+	stop := StopwordSet()
+	weights := make(map[string]map[string]float64)
+	for _, e := range AllEntities() {
+		tokens := surfaceTokens(e, stop)
+		for _, a := range tokens {
+			for _, b := range tokens {
+				if a == b {
+					continue
+				}
+				m := weights[a]
+				if m == nil {
+					m = make(map[string]float64)
+					weights[a] = m
+				}
+				if synonymWeight > m[b] {
+					m[b] = synonymWeight
+				}
+			}
+		}
+	}
+	table := make(map[string][]Expansion, len(weights))
+	for term, m := range weights {
+		s := make([]Expansion, 0, len(m))
+		for t, w := range m {
+			s = append(s, Expansion{Term: t, Weight: w})
+		}
+		sortExpansions(s)
+		table[term] = s
+	}
+	return table
+}
+
+// surfaceTokens returns the deduplicated content tokens of every surface
+// form of e, in first-seen order.
+func surfaceTokens(e Entity, stop map[string]bool) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, surface := range e.Surface() {
+		for _, f := range strings.Fields(strings.ToLower(surface)) {
+			f = strings.Trim(f, "'.,")
+			if len(f) < 2 || stop[f] || seen[f] {
+				continue
+			}
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// PMIConfig tunes the corpus-derived co-occurrence table.
+type PMIConfig struct {
+	// Window is the co-occurrence window in tokens: a pair is observed
+	// when two distinct terms appear within Window positions of each
+	// other. 0 means 8.
+	Window int
+	// MinCount drops pairs observed fewer times (noise floor). 0 means 3.
+	MinCount int
+	// MaxNeighbors caps each term's neighbor list. 0 means 8.
+	MaxNeighbors int
+	// MinPMI drops pairs whose pointwise mutual information is below the
+	// floor; only clearly positive associations survive. 0 means 1.0.
+	MinPMI float64
+}
+
+func (c PMIConfig) fill() PMIConfig {
+	if c.Window <= 0 {
+		c.Window = 8
+	}
+	if c.MinCount <= 0 {
+		c.MinCount = 3
+	}
+	if c.MaxNeighbors <= 0 {
+		c.MaxNeighbors = 8
+	}
+	if c.MinPMI <= 0 {
+		c.MinPMI = 1.0
+	}
+	return c
+}
+
+// PMIBuilder accumulates windowed term co-occurrence counts over a token
+// stream (the search index feeds it each document's filtered tokens at
+// build time) and turns them into a c-token table: for each term, the
+// terms it is most associated with by pointwise mutual information,
+//
+//	PMI(x, y) = log( count(x,y) · N / (count(x) · count(y)) ),
+//
+// where N is the total number of pair observations. Terms are interned
+// against a private dictionary so the pair counters are a compact
+// uint64-keyed map rather than string-pair keys.
+type PMIBuilder struct {
+	cfg   PMIConfig
+	ids   map[string]uint32
+	terms []string
+	occ   []int
+	pairs map[uint64]int
+	total int
+}
+
+// NewPMIBuilder returns an empty builder.
+func NewPMIBuilder(cfg PMIConfig) *PMIBuilder {
+	return &PMIBuilder{
+		cfg:   cfg.fill(),
+		ids:   make(map[string]uint32),
+		pairs: make(map[uint64]int),
+	}
+}
+
+func (b *PMIBuilder) intern(t string) uint32 {
+	if id, ok := b.ids[t]; ok {
+		return id
+	}
+	id := uint32(len(b.terms))
+	b.ids[t] = id
+	b.terms = append(b.terms, t)
+	b.occ = append(b.occ, 0)
+	return id
+}
+
+// AddDoc observes one document's tokens, in order. The caller filters
+// stopwords; the builder only windows and counts.
+func (b *PMIBuilder) AddDoc(tokens []string) {
+	w := b.cfg.Window
+	ids := make([]uint32, len(tokens))
+	for i, t := range tokens {
+		id := b.intern(t)
+		ids[i] = id
+		b.occ[id]++
+	}
+	for i, x := range ids {
+		end := i + w
+		if end >= len(ids) {
+			end = len(ids) - 1
+		}
+		for j := i + 1; j <= end; j++ {
+			y := ids[j]
+			if x == y {
+				continue
+			}
+			lo, hi := x, y
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			b.pairs[uint64(lo)<<32|uint64(hi)]++
+			b.total++
+		}
+	}
+}
+
+// Build computes the c-token table from the accumulated counts. Weights
+// map PMI monotonically into (0, 1) via pmi/(1+pmi), so a just-above-
+// floor association weighs around 0.5 and weights approach 1 only for
+// extreme associations — comparable to, but never exceeding, the
+// gazetteer synonym weight. The result is deterministic for a given
+// input sequence regardless of map iteration order.
+func (b *PMIBuilder) Build() map[string][]Expansion {
+	type neighbor struct {
+		term uint32
+		pmi  float64
+	}
+	byTerm := make(map[uint32][]neighbor)
+	n := float64(b.total)
+	for key, c := range b.pairs {
+		if c < b.cfg.MinCount {
+			continue
+		}
+		x, y := uint32(key>>32), uint32(key)
+		pmi := math.Log(float64(c) * n / (float64(b.occ[x]) * float64(b.occ[y])))
+		if pmi < b.cfg.MinPMI {
+			continue
+		}
+		byTerm[x] = append(byTerm[x], neighbor{y, pmi})
+		byTerm[y] = append(byTerm[y], neighbor{x, pmi})
+	}
+	table := make(map[string][]Expansion, len(byTerm))
+	for id, ns := range byTerm {
+		s := make([]Expansion, 0, len(ns))
+		for _, nb := range ns {
+			s = append(s, Expansion{Term: b.terms[nb.term], Weight: nb.pmi / (1 + nb.pmi)})
+		}
+		sortExpansions(s)
+		if len(s) > b.cfg.MaxNeighbors {
+			s = s[:b.cfg.MaxNeighbors]
+		}
+		table[b.terms[id]] = s
+	}
+	return table
+}

@@ -1,0 +1,146 @@
+package lexicon
+
+import (
+	"testing"
+)
+
+func expansionTerms(s []Expansion) []string {
+	out := make([]string, len(s))
+	for i, e := range s {
+		out[i] = e.Term
+	}
+	return out
+}
+
+func hasTerm(s []Expansion, term string) bool {
+	for _, e := range s {
+		if e.Term == term {
+			return true
+		}
+	}
+	return false
+}
+
+func TestExpanderGazetteerSynonyms(t *testing.T) {
+	x := NewExpander()
+	got := x.Expand("usa", 10)
+	if !hasTerm(got, "america") {
+		t.Errorf("Expand(usa) = %v, want to contain america", expansionTerms(got))
+	}
+	if !hasTerm(got, "united") || !hasTerm(got, "states") {
+		t.Errorf("Expand(usa) = %v, want multi-word surface tokens united/states", expansionTerms(got))
+	}
+	if hasTerm(got, "usa") {
+		t.Error("Expand(usa) returned the term itself")
+	}
+	for _, e := range got {
+		if e.Weight <= 0 || e.Weight > 1 {
+			t.Errorf("expansion %q has weight %v outside (0,1]", e.Term, e.Weight)
+		}
+	}
+	// Aliases expand back toward the canonical name's tokens.
+	if got := x.Expand("acme", 10); !hasTerm(got, "corporation") {
+		t.Errorf("Expand(acme) = %v, want corporation", expansionTerms(got))
+	}
+	// Unknown terms expand to nothing without a co-occurrence table.
+	if got := x.Expand("zzzunknown", 10); len(got) != 0 {
+		t.Errorf("Expand(zzzunknown) = %v, want empty", expansionTerms(got))
+	}
+}
+
+func TestExpanderCapAndOrder(t *testing.T) {
+	x := NewExpander()
+	full := x.Expand("usa", 10)
+	if len(full) < 2 {
+		t.Fatalf("need >= 2 expansions for the cap test, got %v", expansionTerms(full))
+	}
+	capped := x.Expand("usa", 1)
+	if len(capped) != 1 {
+		t.Fatalf("Expand(usa, 1) returned %d terms", len(capped))
+	}
+	if capped[0] != full[0] {
+		t.Errorf("cap changed the strongest expansion: %v vs %v", capped[0], full[0])
+	}
+	for i := 1; i < len(full); i++ {
+		a, b := full[i-1], full[i]
+		if a.Weight < b.Weight || (a.Weight == b.Weight && a.Term >= b.Term) {
+			t.Errorf("expansions out of order at %d: %v then %v", i, a, b)
+		}
+	}
+	if got := x.Expand("usa", 0); got != nil {
+		t.Errorf("Expand with max 0 = %v, want nil", got)
+	}
+}
+
+func TestPMIBuilder(t *testing.T) {
+	b := NewPMIBuilder(PMIConfig{Window: 3, MinCount: 3, MaxNeighbors: 4, MinPMI: 0.5})
+	// "coffee beans" always co-occur; "coffee" and "tax" never share a
+	// window; background terms spread evenly.
+	for i := 0; i < 20; i++ {
+		b.AddDoc([]string{"coffee", "beans", "roast", "filler1", "filler2", "filler3", "tax", "policy"})
+		b.AddDoc([]string{"tax", "policy", "filler1", "filler2", "filler4", "filler3"})
+	}
+	table := b.Build()
+	if !hasTerm(table["coffee"], "beans") {
+		t.Errorf("coffee neighbors = %v, want beans", expansionTerms(table["coffee"]))
+	}
+	if hasTerm(table["coffee"], "tax") {
+		t.Errorf("coffee neighbors = %v, tax never co-occurs within the window", expansionTerms(table["coffee"]))
+	}
+	if !hasTerm(table["tax"], "policy") {
+		t.Errorf("tax neighbors = %v, want policy", expansionTerms(table["tax"]))
+	}
+	for term, ns := range table {
+		if len(ns) > 4 {
+			t.Errorf("%q has %d neighbors, cap is 4", term, len(ns))
+		}
+		for _, e := range ns {
+			if e.Weight <= 0 || e.Weight >= 1 {
+				t.Errorf("%q -> %q weight %v outside (0,1)", term, e.Term, e.Weight)
+			}
+		}
+	}
+}
+
+func TestPMIBuilderDeterministic(t *testing.T) {
+	build := func() map[string][]Expansion {
+		b := NewPMIBuilder(PMIConfig{Window: 4, MinCount: 2, MinPMI: 0.1})
+		for i := 0; i < 10; i++ {
+			b.AddDoc([]string{"alpha", "beta", "gamma", "delta", "alpha", "beta"})
+			b.AddDoc([]string{"gamma", "delta", "epsilon", "zeta"})
+		}
+		return b.Build()
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("table sizes differ: %d vs %d", len(a), len(b))
+	}
+	for term, ns := range a {
+		other := b[term]
+		if len(ns) != len(other) {
+			t.Fatalf("%q neighbor counts differ", term)
+		}
+		for i := range ns {
+			if ns[i] != other[i] {
+				t.Errorf("%q neighbor %d: %v vs %v", term, i, ns[i], other[i])
+			}
+		}
+	}
+}
+
+func TestExpanderWithCooccurrence(t *testing.T) {
+	x := NewExpander().WithCooccurrence(map[string][]Expansion{
+		"market":  {{Term: "economy", Weight: 0.6}},
+		"america": {{Term: "usa", Weight: 0.3}}, // weaker than the synonym link
+	})
+	if got := x.Expand("market", 5); !hasTerm(got, "economy") {
+		t.Errorf("Expand(market) = %v, want economy from the co-occurrence table", expansionTerms(got))
+	}
+	// Synonym weight (0.8) wins over the weaker co-occurrence weight.
+	got := x.Expand("america", 5)
+	for _, e := range got {
+		if e.Term == "usa" && e.Weight != synonymWeight {
+			t.Errorf("america -> usa weight %v, want synonym weight %v", e.Weight, synonymWeight)
+		}
+	}
+}

@@ -44,6 +44,16 @@ type AnalysisConfig struct {
 	HTTPClient *http.Client
 	// Limit caps search results. Values < 1 mean 10.
 	Limit int
+	// Offset skips that many top-ranked search hits before the pipeline
+	// consumes Limit of them (pagination across runs). Values < 1 mean 0.
+	Offset int
+	// NewsOnly restricts the search to news documents (paper §2.2's
+	// news-story restriction).
+	NewsOnly bool
+	// Expand turns on the search engine's query expansion, broadening
+	// the search with alias and co-occurrence terms. The engine must have
+	// been built with expansion tables for this to have any effect.
+	Expand bool
 	// Workers is the fetch/analyze fan-out width. Values < 1 mean 4.
 	Workers int
 	// Store, when non-nil, persists the search snapshot (query + time +
@@ -194,10 +204,20 @@ func (cfg AnalysisConfig) Run(ctx context.Context, query string) (*AnalysisResul
 	// Stage 1 — search: one SDK invocation, fanned out into a stream of
 	// (rank, result) items.
 	results := SourceFunc(p, "search", func(ctx context.Context, emit func(indexed[search.Result]) error) error {
+		params := map[string]string{"limit": strconv.Itoa(cfg.Limit)}
+		if cfg.Offset > 0 {
+			params["offset"] = strconv.Itoa(cfg.Offset)
+		}
+		if cfg.NewsOnly {
+			params["news"] = "true"
+		}
+		if cfg.Expand {
+			params["expand"] = "true"
+		}
 		req := service.Request{
 			Op:     "search",
 			Query:  query,
-			Params: map[string]string{"limit": strconv.Itoa(cfg.Limit)},
+			Params: params,
 		}
 		resp, err := cfg.Client.Invoke(ctx, cfg.Search, req, cfg.invokeOpts()...)
 		if err != nil {

@@ -1,8 +1,11 @@
 package search
 
 import (
+	"fmt"
 	"testing"
 
+	"repro/internal/lexicon"
+	"repro/internal/search/searchref"
 	"repro/internal/webcorpus"
 )
 
@@ -53,4 +56,62 @@ func BenchmarkSearchNewsOnly(b *testing.B) {
 			b.Fatal("no results")
 		}
 	}
+}
+
+// Baseline-vs-pruned benchmarks: the same query against the frozen seed
+// engine (full scan + sort) and the block-max evaluator at growing corpus
+// sizes. Run via `make bench-search`.
+
+func benchCorpus(n int) *webcorpus.Corpus {
+	return webcorpus.Generate(webcorpus.Config{Seed: 4, NumDocs: n})
+}
+
+const benchQuery = "market technology growth investment"
+
+func benchSizes(b *testing.B, run func(b *testing.B, c *webcorpus.Corpus)) {
+	for _, n := range []int{1000, 10000, 50000} {
+		n := n
+		b.Run(fmt.Sprintf("docs=%d", n), func(b *testing.B) {
+			run(b, benchCorpus(n))
+		})
+	}
+}
+
+func BenchmarkSearchBaseline(b *testing.B) {
+	benchSizes(b, func(b *testing.B, c *webcorpus.Corpus) {
+		idx := searchref.BuildIndex(c)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if got := idx.Search(benchQuery, searchref.Params{Scoring: searchref.BM25, K1: 1.2, B: 0.75, TitleBoost: 2}, searchref.Options{Limit: 10}); len(got) == 0 {
+				b.Fatal("no results")
+			}
+		}
+	})
+}
+
+func BenchmarkSearchPruned(b *testing.B) {
+	benchSizes(b, func(b *testing.B, c *webcorpus.Corpus) {
+		idx := BuildIndex(c)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if got := idx.Search(benchQuery, TuningG, Options{Limit: 10}); len(got) == 0 {
+				b.Fatal("no results")
+			}
+		}
+	})
+}
+
+func BenchmarkSearchExpanded(b *testing.B) {
+	benchSizes(b, func(b *testing.B, c *webcorpus.Corpus) {
+		idx := BuildIndex(c, WithExpansion(lexicon.PMIConfig{}))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if got := idx.Search(benchQuery, TuningG, Options{Limit: 10, Expand: true}); len(got) == 0 {
+				b.Fatal("no results")
+			}
+		}
+	})
 }

@@ -1,0 +1,39 @@
+package search
+
+// termDict is the search index's symbol table, the same design as
+// internal/rdf/dict.go: each distinct term is assigned a dense uint32 ID
+// on first sight, after which postings, query compilation, and the
+// evaluator handle IDs only — term bytes are touched once at the index
+// boundary, never inside the scoring loop.
+//
+// The dictionary is immutable after BuildIndex returns, so concurrent
+// searches need no synchronization.
+type termDict struct {
+	ids   map[string]uint32
+	terms []string
+}
+
+func newTermDict() *termDict {
+	return &termDict{ids: make(map[string]uint32)}
+}
+
+// intern returns t's ID, assigning the next free one on first sight.
+func (d *termDict) intern(t string) uint32 {
+	if id, ok := d.ids[t]; ok {
+		return id
+	}
+	id := uint32(len(d.terms))
+	d.ids[t] = id
+	d.terms = append(d.terms, t)
+	return id
+}
+
+// lookup returns t's ID without assigning one. A miss means no document
+// contains t.
+func (d *termDict) lookup(t string) (uint32, bool) {
+	id, ok := d.ids[t]
+	return id, ok
+}
+
+// len returns the number of distinct terms.
+func (d *termDict) len() int { return len(d.terms) }

@@ -18,14 +18,20 @@ type Engine struct {
 	params Params
 }
 
-// Stock engine tunings.
+// Stock engine tunings. The expansion fields only apply to searches that
+// opt in (Options.Expand against an index built WithExpansion); they make
+// the profiles diverge on how aggressively they broaden a query as well
+// as on how they score it.
 var (
-	// TuningG approximates a modern BM25 web ranker with title boost.
-	TuningG = Params{Scoring: BM25, K1: 1.2, B: 0.75, TitleBoost: 2}
-	// TuningB is a TF-IDF ranker with mild title boost.
-	TuningB = Params{Scoring: TFIDF, TitleBoost: 1.5}
-	// TuningY is BM25 with heavier saturation and no title boost.
-	TuningY = Params{Scoring: BM25, K1: 2.0, B: 0.5}
+	// TuningG approximates a modern BM25 web ranker with title boost and
+	// moderate query expansion.
+	TuningG = Params{Scoring: BM25, K1: 1.2, B: 0.75, TitleBoost: 2, ExpandWeight: 0.35, ExpandTerms: 3}
+	// TuningB is a TF-IDF ranker with mild title boost and conservative
+	// expansion.
+	TuningB = Params{Scoring: TFIDF, TitleBoost: 1.5, ExpandWeight: 0.2, ExpandTerms: 2}
+	// TuningY is BM25 with heavier saturation, no title boost, and the
+	// broadest expansion.
+	TuningY = Params{Scoring: BM25, K1: 2.0, B: 0.5, ExpandWeight: 0.5, ExpandTerms: 4}
 )
 
 // NewEngine returns a named engine over idx with the given tuning.
@@ -58,7 +64,8 @@ func DecodeResults(resp service.Response) (Results, error) {
 }
 
 // Service wraps the engine as a service.Service understanding op "search"
-// with Query set; Params may carry "limit" (int) and "news" ("true").
+// with Query set; Params may carry "limit" (int), "offset" (int), "news"
+// ("true"), and "expand" ("true").
 func (e *Engine) Service(info service.Info) service.Service {
 	return service.Func{
 		Meta: info,
@@ -77,8 +84,18 @@ func (e *Engine) Service(info service.Info) service.Service {
 				}
 				opts.Limit = n
 			}
+			if v := req.Params["offset"]; v != "" {
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return service.Response{}, fmt.Errorf("search: bad offset %q: %w", v, service.ErrBadRequest)
+				}
+				opts.Offset = n
+			}
 			if req.Params["news"] == "true" {
 				opts.NewsOnly = true
+			}
+			if req.Params["expand"] == "true" {
+				opts.Expand = true
 			}
 			body, err := json.Marshal(Results{
 				Engine:  e.name,

@@ -1,0 +1,390 @@
+package search
+
+import (
+	"math"
+	"sort"
+)
+
+// This file is the top-k evaluator: a document-at-a-time MaxScore
+// traversal with block-max refinement (WAND-family pruning). Query terms
+// are sorted by their score upper bound; once the heap of k results is
+// full, the prefix of terms whose combined upper bound cannot beat the
+// k-th best score becomes "non-essential" — documents appearing only in
+// those lists can never enter the heap, so the candidate scan walks only
+// the essential lists and probes non-essential ones per candidate,
+// abandoning a candidate (or skipping a whole posting block) as soon as
+// its remaining upper bound falls below the threshold. With expansion
+// off the results are exactly the searchref baseline's: same document
+// set, same Score-then-DocID tie-break order.
+
+// scorer precomputes one query's scoring profile. The score expressions
+// are kept token-for-token identical to the seed engine's (searchref) so
+// pruning decisions bound the very same floats the baseline computes.
+// TitleBoost is assumed non-negative and B in [0, 1]; the stock tunings
+// and the service layer never produce anything else.
+type scorer struct {
+	idx        *Index
+	bm25       bool
+	k1, b      float64
+	titleBoost float64
+}
+
+func newScorer(idx *Index, p Params) scorer {
+	k1, b := p.K1, p.B
+	if k1 == 0 {
+		k1 = 1.2
+	}
+	if b == 0 {
+		b = 0.75
+	}
+	return scorer{idx: idx, bm25: p.Scoring == BM25, k1: k1, b: b, titleBoost: p.TitleBoost}
+}
+
+// idf for a term with document frequency df; always >= 0 (BM25's form is
+// strictly positive, TF-IDF's reaches 0 when a term is in every doc).
+func (s scorer) idf(df int) float64 {
+	n := float64(len(s.idx.docs))
+	if s.bm25 {
+		return math.Log(1 + (n-float64(df)+0.5)/(float64(df)+0.5))
+	}
+	return math.Log((n + 1) / (float64(df) + 1))
+}
+
+// score returns one posting's contribution (idf applied, query weight
+// not) and whether the posting matches at all (combined frequency > 0 —
+// a title-only posting under TitleBoost 0 does not match, mirroring the
+// seed's "tf == 0 → skip" rule).
+func (s scorer) score(idf float64, p posting, dl uint32) (float64, bool) {
+	t := float64(p.tf()) + s.titleBoost*float64(p.tit())
+	if t == 0 {
+		return 0, false
+	}
+	if s.bm25 {
+		norm := t + s.k1*(1-s.b+s.b*float64(dl)/s.idx.avgLen)
+		return idf * t * (s.k1 + 1) / norm, true
+	}
+	return idf * (1 + math.Log(t)), true
+}
+
+// bound returns the largest contribution any posting with tf <= maxTf,
+// tit <= maxTit, and docLen >= minLen can produce: the score expression
+// is monotone increasing in the combined frequency and (for BM25, with
+// b >= 0) decreasing in document length, so evaluating it at the
+// extremes bounds the block.
+func (s scorer) bound(idf float64, maxTf, maxTit uint16, minLen uint32) float64 {
+	t := float64(maxTf) + s.titleBoost*float64(maxTit)
+	if t <= 0 {
+		return 0
+	}
+	if s.bm25 {
+		norm := t + s.k1*(1-s.b+s.b*float64(minLen)/s.idx.avgLen)
+		return idf * t * (s.k1 + 1) / norm
+	}
+	return idf * (1 + math.Log(t))
+}
+
+// cursor walks one query term's posting list.
+type cursor struct {
+	tp     *termPostings
+	idf    float64
+	weight float64 // query-side weight (1 original, scaled for expansions)
+	ub     float64 // list-wide upper bound × weight, clamped at 0
+	pos    int
+	blk    int
+}
+
+// seekBlock advances the block pointer to the first block whose last
+// document is >= doc, pulling pos forward to the block start when blocks
+// are skipped (never backward).
+func (c *cursor) seekBlock(doc uint32) {
+	if b := c.pos / blockSize; b > c.blk {
+		c.blk = b
+	}
+	for c.blk < len(c.tp.blocks) && c.tp.blocks[c.blk].lastDoc < doc {
+		c.blk++
+	}
+	if start := c.blk * blockSize; c.pos < start {
+		c.pos = start
+	}
+}
+
+// find binary-searches the current block for doc, leaving pos just past
+// doc on a hit and at the first larger posting on a miss. seekBlock must
+// have been called with the same doc first.
+func (c *cursor) find(doc uint32) (posting, bool) {
+	end := (c.blk + 1) * blockSize
+	if end > len(c.tp.posts) {
+		end = len(c.tp.posts)
+	}
+	lo, hi := c.pos, end
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.tp.posts[mid].doc < doc {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	c.pos = lo
+	if lo < end && c.tp.posts[lo].doc == doc {
+		p := c.tp.posts[lo]
+		c.pos++
+		return p, true
+	}
+	return posting{}, false
+}
+
+// heapEntry is one top-k candidate. The heap is a min-heap whose root is
+// the current worst entry: lowest score, ties broken by largest doc —
+// documents are generated with IDs whose string order follows their
+// index order (up to a million docs), so the later of two tied documents
+// is the one the Score-then-DocID contract evicts first. Because the
+// scan visits documents in increasing order, a later candidate that ties
+// the root can never displace it, which is exactly the baseline's
+// stable-sort behavior.
+type heapEntry struct {
+	score float64
+	doc   uint32
+}
+
+// worse reports whether a should sit below b in the min-heap.
+func worse(a, b heapEntry) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return a.doc > b.doc
+}
+
+func heapPush(h []heapEntry, e heapEntry) []heapEntry {
+	h = append(h, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !worse(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+// heapReplaceRoot overwrites the root and sifts it down.
+func heapReplaceRoot(h []heapEntry, e heapEntry) {
+	h[0] = e
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && worse(h[l], h[small]) {
+			small = l
+		}
+		if r < len(h) && worse(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
+
+// slack relaxes a threshold comparison by ~1e-12 relative so that
+// floating-point rounding in upper-bound sums can never prune a document
+// the exhaustive baseline would keep: a candidate is abandoned only when
+// its bound is clearly below the threshold, and exact ties (which lose
+// the DocID tie-break anyway) cost at most a wasted probe.
+func slack(theta float64) float64 {
+	return theta - (math.Abs(theta)+1)*1e-12
+}
+
+// evaluate runs the block-max MaxScore top-k scan.
+func (idx *Index) evaluate(qterms []qterm, p Params, opts Options, stats *Stats) []Result {
+	sc := newScorer(idx, p)
+	cursors := make([]cursor, 0, len(qterms))
+	for _, q := range qterms {
+		tp := &idx.terms[q.id]
+		if len(tp.posts) == 0 {
+			continue
+		}
+		if float64(tp.maxTf)+sc.titleBoost*float64(tp.maxTit) <= 0 {
+			// No posting in this list can match (title-only occurrences
+			// under TitleBoost 0): the whole term is skipped.
+			continue
+		}
+		ub := q.weight * sc.bound(sc.idf(len(tp.posts)), tp.maxTf, tp.maxTit, tp.minLen)
+		if ub < 0 {
+			ub = 0 // a negative contribution is never better than absence
+		}
+		cursors = append(cursors, cursor{tp: tp, idf: sc.idf(len(tp.posts)), weight: q.weight, ub: ub})
+	}
+	if len(cursors) == 0 {
+		return []Result{}
+	}
+	stats.Terms = len(cursors)
+	// Ascending upper bound; stable so equal bounds keep the sorted-term
+	// query order and evaluation stays deterministic.
+	sort.SliceStable(cursors, func(i, j int) bool { return cursors[i].ub < cursors[j].ub })
+	prefix := make([]float64, len(cursors))
+	sum := 0.0
+	for i := range cursors {
+		sum += cursors[i].ub
+		prefix[i] = sum
+	}
+
+	k := opts.Limit + opts.Offset
+	topk := make([]heapEntry, 0, k)
+	theta := math.Inf(-1)
+	full := false
+	nonEss := 0
+	contrib := make([]float64, len(cursors))
+	has := make([]bool, len(cursors))
+
+	for {
+		if full {
+			// Terms whose cumulative upper bound cannot beat the
+			// threshold become non-essential; when every term is, no
+			// unseen document can enter the heap.
+			for nonEss < len(cursors) && prefix[nonEss] < slack(theta) {
+				nonEss++
+			}
+			if nonEss == len(cursors) {
+				break
+			}
+		}
+		// Next candidate: smallest current doc among essential lists.
+		doc := ^uint32(0)
+		for i := nonEss; i < len(cursors); i++ {
+			c := &cursors[i]
+			if c.pos < len(c.tp.posts) && c.tp.posts[c.pos].doc < doc {
+				doc = c.tp.posts[c.pos].doc
+			}
+		}
+		if doc == ^uint32(0) {
+			break
+		}
+		stats.Candidates++
+		if opts.NewsOnly && !idx.isNews(doc) {
+			// Kind filtering at score time: never score a document that
+			// cannot be returned.
+			for i := nonEss; i < len(cursors); i++ {
+				c := &cursors[i]
+				if c.pos < len(c.tp.posts) && c.tp.posts[c.pos].doc == doc {
+					c.pos++
+				}
+			}
+			continue
+		}
+		for i := range contrib {
+			contrib[i], has[i] = 0, false
+		}
+		matched := false
+		run := 0.0 // running partial for bound checks only
+		for i := nonEss; i < len(cursors); i++ {
+			c := &cursors[i]
+			if c.pos < len(c.tp.posts) && c.tp.posts[c.pos].doc == doc {
+				s, m := sc.score(c.idf, c.tp.posts[c.pos], idx.docLen[doc])
+				s *= c.weight
+				c.pos++
+				contrib[i], has[i] = s, m
+				if m {
+					matched = true
+					run += s
+				}
+			}
+		}
+		abandoned := false
+		for j := nonEss - 1; j >= 0; j-- {
+			if full && run+prefix[j] < slack(theta) {
+				abandoned = true
+				break
+			}
+			c := &cursors[j]
+			c.seekBlock(doc)
+			if c.blk >= len(c.tp.blocks) {
+				continue // list exhausted; no contribution possible
+			}
+			below := 0.0
+			if j > 0 {
+				below = prefix[j-1]
+			}
+			if full {
+				blk := &c.tp.blocks[c.blk]
+				bb := c.weight * sc.bound(c.idf, blk.maxTf, blk.maxTit, blk.minLen)
+				if bb < 0 {
+					bb = 0
+				}
+				if run+bb+below < slack(theta) {
+					// Even this block's best posting plus every
+					// lower-bound term cannot lift the doc over the
+					// threshold: skip the block probe and the doc.
+					stats.BlockSkips++
+					abandoned = true
+					break
+				}
+			}
+			if p, found := c.find(doc); found {
+				s, m := sc.score(c.idf, p, idx.docLen[doc])
+				s *= c.weight
+				contrib[j], has[j] = s, m
+				if m {
+					matched = true
+					run += s
+				}
+			}
+		}
+		if abandoned {
+			stats.Pruned++
+			continue
+		}
+		if !matched {
+			continue
+		}
+		// Canonical sum: always in ascending-upper-bound cursor order,
+		// independent of where the essential boundary sat when this doc
+		// was scored, so structurally tied documents sum identically and
+		// tie exactly — as they do in the baseline's single-pass scan.
+		score := 0.0
+		for i := range cursors {
+			if has[i] {
+				score += contrib[i]
+			}
+		}
+		stats.Scored++
+		if !full {
+			topk = heapPush(topk, heapEntry{score, doc})
+			if len(topk) == k {
+				full = true
+				theta = topk[0].score
+			}
+		} else if score > topk[0].score {
+			heapReplaceRoot(topk, heapEntry{score, doc})
+			theta = topk[0].score
+		}
+	}
+
+	sort.Slice(topk, func(i, j int) bool {
+		if topk[i].score != topk[j].score {
+			return topk[i].score > topk[j].score
+		}
+		return topk[i].doc < topk[j].doc
+	})
+	if opts.Offset >= len(topk) {
+		return []Result{}
+	}
+	topk = topk[opts.Offset:]
+	out := make([]Result, 0, len(topk))
+	for _, e := range topk {
+		d := idx.docs[e.doc]
+		out = append(out, Result{
+			DocID:     d.ID,
+			URL:       d.URL,
+			Title:     d.Title,
+			Kind:      d.Kind,
+			Score:     e.score,
+			Published: d.Published.Format("2006-01-02T15:04:05Z07:00"),
+		})
+	}
+	return out
+}

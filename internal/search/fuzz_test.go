@@ -1,0 +1,56 @@
+package search_test
+
+// FuzzSearchQuery drives both search engines — the block-max top-k
+// evaluator and the frozen seed baseline — with arbitrary query strings
+// and knob settings (go test -fuzz=FuzzSearchQuery ./internal/search).
+// Neither may panic, and with expansion off they must agree exactly:
+// same document sequence, same tie-break order, near-identical scores.
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/search"
+	"repro/internal/search/searchref"
+	"repro/internal/webcorpus"
+)
+
+var fuzzIndexes = sync.OnceValues(func() (*search.Index, *searchref.Index) {
+	c := webcorpus.Generate(webcorpus.Config{Seed: 99, NumDocs: 250})
+	return search.BuildIndex(c), searchref.BuildIndex(c)
+})
+
+func FuzzSearchQuery(f *testing.F) {
+	f.Add("acme market", uint8(10), false, false)
+	f.Add("the of and", uint8(0), true, false)
+	f.Add("germany trade policy usa", uint8(3), false, true)
+	f.Add("MARKET Market market", uint8(1), true, true)
+	f.Add("zzz unknown terms only", uint8(50), false, false)
+	f.Add("a b c d e f", uint8(255), true, true)
+	f.Add("committee,schedule—conference", uint8(7), false, true)
+	f.Fuzz(func(t *testing.T, query string, limit uint8, news, tfidf bool) {
+		idx, ref := fuzzIndexes()
+		np := search.Params{Scoring: search.BM25, TitleBoost: 2}
+		rp := searchref.Params{Scoring: searchref.BM25, TitleBoost: 2}
+		if tfidf {
+			np = search.Params{Scoring: search.TFIDF, TitleBoost: 0.3}
+			rp = searchref.Params{Scoring: searchref.TFIDF, TitleBoost: 0.3}
+		}
+		got := idx.Search(query, np, search.Options{Limit: int(limit), NewsOnly: news})
+		want := ref.Search(query, rp, searchref.Options{Limit: int(limit), NewsOnly: news})
+		if len(got) != len(want) {
+			t.Fatalf("q=%q limit=%d news=%v tfidf=%v: %d results, reference %d",
+				query, limit, news, tfidf, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].DocID != want[i].DocID {
+				t.Fatalf("q=%q limit=%d news=%v tfidf=%v rank %d: %s, reference %s",
+					query, limit, news, tfidf, i, got[i].DocID, want[i].DocID)
+			}
+			if d := math.Abs(got[i].Score - want[i].Score); d > 1e-9*(math.Abs(want[i].Score)+1) {
+				t.Fatalf("q=%q rank %d: score %v, reference %v", query, i, got[i].Score, want[i].Score)
+			}
+		}
+	})
+}

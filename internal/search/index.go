@@ -5,85 +5,241 @@
 // restricted to news stories"). Engines expose the uniform service
 // interface so the SDK can rank them, fail over between them, and cache
 // their results.
+//
+// The index is dictionary-coded: terms are interned to dense uint32 IDs
+// (internal/rdf/dict.go's design) and postings are compact per-term
+// slices of {docID, packed tf/tit} sorted by document, carved into
+// fixed-size blocks carrying score upper-bound metadata (max body/title
+// frequency, min document length). Queries run through a block-max
+// MaxScore top-k evaluator (eval.go) that skips terms and blocks whose
+// upper bound cannot beat the current k-th best score, so query latency
+// stays near-flat as the corpus grows. The seed-era full-scan engine is
+// frozen in internal/search/searchref as the equivalence oracle and perf
+// baseline.
 package search
 
 import (
-	"math"
 	"sort"
-	"strings"
 
 	"repro/internal/lexicon"
 	"repro/internal/nlu"
 	"repro/internal/webcorpus"
 )
 
-// posting records one document containing a term.
+// blockSize is the posting-block granularity: each block of up to 64
+// postings carries its own score upper-bound metadata so the evaluator
+// can skip it wholesale when the block cannot beat the current
+// threshold. 64 keeps block metadata ~1.5% of posting bytes while
+// leaving blocks small enough that skipping one matters.
+const blockSize = 64
+
+// posting records one document containing a term: the document's dense
+// ID and the term's body (tf) and title (tit) frequencies packed into
+// one word. Frequencies saturate at 65535, far beyond any real document.
 type posting struct {
-	doc int // index into docs
-	tf  int // term frequency in the body
-	tit int // term frequency in the title
+	doc  uint32
+	freq uint32 // tf in the low 16 bits, tit in the high 16
+}
+
+func packFreq(tf, tit int) uint32 {
+	if tf > 0xffff {
+		tf = 0xffff
+	}
+	if tit > 0xffff {
+		tit = 0xffff
+	}
+	return uint32(tf) | uint32(tit)<<16
+}
+
+func (p posting) tf() uint32  { return p.freq & 0xffff }
+func (p posting) tit() uint32 { return p.freq >> 16 }
+
+// block is the upper-bound metadata for one blockSize-chunk of a posting
+// list. maxTf/maxTit bound the packed frequencies and minLen the BM25
+// length normalizer, so score(maxTf + TitleBoost·maxTit, minLen) bounds
+// every posting in the block for any monotone scoring profile.
+type block struct {
+	lastDoc uint32 // doc of the block's final posting (skip key)
+	maxTf   uint16
+	maxTit  uint16
+	minLen  uint32
+}
+
+// termPostings is one term's posting list plus its block and list-wide
+// upper-bound metadata.
+type termPostings struct {
+	posts  []posting
+	blocks []block
+	maxTf  uint16
+	maxTit uint16
+	minLen uint32
 }
 
 // Index is an immutable inverted index over a corpus. Build once, search
 // concurrently.
 type Index struct {
-	docs     []webcorpus.Document
-	postings map[string][]posting
-	docLen   []int
-	avgLen   float64
-	stop     map[string]bool
+	docs   []webcorpus.Document
+	dict   *termDict
+	terms  []termPostings // indexed by term ID
+	docLen []uint32
+	avgLen float64
+	stop   map[string]bool
+	news   []uint64 // bitmap over docs: kind == "news"
+	// expander is the query-expansion source (nil when the index was
+	// built without WithExpansion). Expansion applies only when a search
+	// opts in via Options.Expand and the engine's Params enable it, so
+	// the default ranking is bit-identical to the searchref baseline.
+	expander *lexicon.Expander
+}
+
+// IndexOption configures BuildIndex.
+type IndexOption func(*indexConfig)
+
+type indexConfig struct {
+	expansion bool
+	pmi       lexicon.PMIConfig
+}
+
+// WithExpansion builds the query-expansion tables alongside the index:
+// the gazetteer synonym table plus a corpus-derived PMI co-occurrence
+// table accumulated from each document's filtered tokens during the
+// indexing pass. cfg tunes the PMI build; the zero value means defaults
+// (see lexicon.PMIConfig).
+func WithExpansion(cfg lexicon.PMIConfig) IndexOption {
+	return func(c *indexConfig) {
+		c.expansion = true
+		c.pmi = cfg
+	}
 }
 
 // BuildIndex indexes every document in the corpus.
-func BuildIndex(c *webcorpus.Corpus) *Index {
+func BuildIndex(c *webcorpus.Corpus, opts ...IndexOption) *Index {
+	var cfg indexConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	idx := &Index{
-		docs:     c.Docs,
-		postings: make(map[string][]posting),
-		docLen:   make([]int, len(c.Docs)),
-		stop:     lexicon.StopwordSet(),
+		docs:   c.Docs,
+		dict:   newTermDict(),
+		docLen: make([]uint32, len(c.Docs)),
+		stop:   lexicon.StopwordSet(),
+		news:   make([]uint64, (len(c.Docs)+63)/64),
+	}
+	var pmi *lexicon.PMIBuilder
+	if cfg.expansion {
+		pmi = lexicon.NewPMIBuilder(cfg.pmi)
 	}
 	var totalLen int
+	// Scratch maps are reused across documents; term IDs are dense so the
+	// per-doc term set stays small and cheap to reset.
+	tfs := make(map[uint32]int)
+	tits := make(map[uint32]int)
 	for i, d := range c.Docs {
-		bodyCounts := termCounts(d.Body, idx.stop)
-		titleCounts := termCounts(d.Title, idx.stop)
-		length := 0
-		for _, n := range bodyCounts {
-			length += n
+		if d.Kind == "news" {
+			idx.news[i>>6] |= 1 << (uint(i) & 63)
 		}
-		idx.docLen[i] = length
-		totalLen += length
-		terms := make(map[string]posting)
-		for t, n := range bodyCounts {
-			p := terms[t]
-			p.doc = i
-			p.tf = n
-			terms[t] = p
+		bodyToks := idx.filterTokens(d.Body)
+		titleToks := idx.filterTokens(d.Title)
+		idx.docLen[i] = uint32(len(bodyToks))
+		totalLen += len(bodyToks)
+		if pmi != nil {
+			pmi.AddDoc(bodyToks)
+			pmi.AddDoc(titleToks)
 		}
-		for t, n := range titleCounts {
-			p := terms[t]
-			p.doc = i
-			p.tit = n
-			terms[t] = p
+		clear(tfs)
+		clear(tits)
+		for _, t := range bodyToks {
+			tfs[idx.dict.intern(t)]++
 		}
-		for t, p := range terms {
-			idx.postings[t] = append(idx.postings[t], p)
+		for _, t := range titleToks {
+			tits[idx.dict.intern(t)]++
+		}
+		if n := idx.dict.len(); n > len(idx.terms) {
+			idx.terms = append(idx.terms, make([]termPostings, n-len(idx.terms))...)
+		}
+		// Documents are indexed in increasing order, so each append keeps
+		// the posting list sorted by doc with no explicit sort.
+		for tid, tf := range tfs {
+			idx.terms[tid].posts = append(idx.terms[tid].posts,
+				posting{doc: uint32(i), freq: packFreq(tf, tits[tid])})
+		}
+		for tid, tit := range tits {
+			if _, body := tfs[tid]; !body {
+				idx.terms[tid].posts = append(idx.terms[tid].posts,
+					posting{doc: uint32(i), freq: packFreq(0, tit)})
+			}
 		}
 	}
 	if len(c.Docs) > 0 {
 		idx.avgLen = float64(totalLen) / float64(len(c.Docs))
 	}
+	for tid := range idx.terms {
+		idx.buildBlocks(&idx.terms[tid])
+	}
+	if cfg.expansion {
+		idx.expander = lexicon.NewExpander().WithCooccurrence(pmi.Build())
+	}
 	return idx
 }
 
-func termCounts(text string, stop map[string]bool) map[string]int {
-	counts := make(map[string]int)
-	for _, tok := range nlu.Tokenize(text) {
-		if len(tok.Lower) < 2 || stop[tok.Lower] {
+// buildBlocks carves tp's posting list into blockSize chunks and records
+// the per-block and list-wide upper-bound metadata.
+func (idx *Index) buildBlocks(tp *termPostings) {
+	n := len(tp.posts)
+	if n == 0 {
+		return
+	}
+	tp.blocks = make([]block, 0, (n+blockSize-1)/blockSize)
+	tp.minLen = ^uint32(0)
+	for start := 0; start < n; start += blockSize {
+		end := start + blockSize
+		if end > n {
+			end = n
+		}
+		b := block{lastDoc: tp.posts[end-1].doc, minLen: ^uint32(0)}
+		for _, p := range tp.posts[start:end] {
+			if tf := uint16(p.tf()); tf > b.maxTf {
+				b.maxTf = tf
+			}
+			if tit := uint16(p.tit()); tit > b.maxTit {
+				b.maxTit = tit
+			}
+			if l := idx.docLen[p.doc]; l < b.minLen {
+				b.minLen = l
+			}
+		}
+		if b.maxTf > tp.maxTf {
+			tp.maxTf = b.maxTf
+		}
+		if b.maxTit > tp.maxTit {
+			tp.maxTit = b.maxTit
+		}
+		if b.minLen < tp.minLen {
+			tp.minLen = b.minLen
+		}
+		tp.blocks = append(tp.blocks, b)
+	}
+}
+
+// filterTokens lower-cases and filters text the same way the seed engine
+// did — tokens shorter than two bytes and stopwords are dropped —
+// returning the surviving tokens in document order (the PMI builder
+// needs the sequence, not just counts).
+func (idx *Index) filterTokens(text string) []string {
+	toks := nlu.Tokenize(text)
+	out := make([]string, 0, len(toks))
+	for _, tok := range toks {
+		if len(tok.Lower) < 2 || idx.stop[tok.Lower] {
 			continue
 		}
-		counts[tok.Lower]++
+		out = append(out, tok.Lower)
 	}
-	return counts
+	return out
+}
+
+// isNews reports whether doc is a news document (kind bitmap probe).
+func (idx *Index) isNews(doc uint32) bool {
+	return idx.news[doc>>6]&(1<<(doc&63)) != 0
 }
 
 // Result is one search hit.
@@ -100,8 +256,18 @@ type Result struct {
 type Options struct {
 	// Limit bounds the result count. 0 means 10.
 	Limit int
-	// NewsOnly restricts hits to documents of kind "news".
+	// Offset skips that many top-ranked hits before collecting Limit
+	// results (pagination). The evaluator keeps a heap of Limit+Offset
+	// entries, so deep pagination costs proportionally more.
+	Offset int
+	// NewsOnly restricts hits to documents of kind "news". The
+	// restriction is a doc-kind bitmap consulted during evaluation —
+	// non-news documents are never scored — not a post-filter.
 	NewsOnly bool
+	// Expand turns on query expansion for this search. It has effect
+	// only when the index was built with WithExpansion and the engine's
+	// Params carry a positive ExpandWeight.
+	Expand bool
 }
 
 // Scoring selects the ranking function.
@@ -119,82 +285,148 @@ type Params struct {
 	K1         float64 // BM25 term-frequency saturation (typical 1.2)
 	B          float64 // BM25 length normalization (typical 0.75)
 	TitleBoost float64 // extra weight for title matches
+
+	// ExpandWeight scales the score contribution of expansion terms
+	// relative to original query terms (0 disables expansion for this
+	// profile). ExpandTerms caps how many expansion terms a query gains;
+	// 0 means 2. Both only apply when Options.Expand is set, so profiles
+	// tune how aggressively they broaden a query — one of the axes on
+	// which the stock G/B/Y tunings differ.
+	ExpandWeight float64
+	ExpandTerms  int
 }
 
-// Search runs a ranked query against the index.
+// Stats reports what one evaluation did; see SearchStats.
+type Stats struct {
+	// Terms is how many query terms (originals plus expansions) had
+	// posting lists and entered evaluation.
+	Terms int
+	// Expanded is how many of those were added by query expansion.
+	Expanded int
+	// Candidates counts documents proposed by the essential-list
+	// document-at-a-time scan.
+	Candidates int
+	// Scored counts candidates that survived every bound check and had
+	// their full score computed.
+	Scored int
+	// Pruned counts candidates abandoned because their score upper
+	// bound could not beat the running threshold.
+	Pruned int
+	// BlockSkips counts posting blocks skipped via block-max metadata.
+	BlockSkips int
+}
+
+// Search runs a ranked query against the index: top Limit results after
+// Offset, scores descending, ties broken by ascending DocID — the same
+// contract as the searchref baseline.
+//
+// A query whose every token is filtered out (stopwords or single
+// characters) returns an empty result immediately: stopwords are
+// stripped at build time, so the index holds no posting that could match
+// them. The seed engine "fell back" to looking the raw tokens up anyway
+// and necessarily found nothing; the early return makes that contract
+// explicit at zero cost.
 func (idx *Index) Search(query string, p Params, opts Options) []Result {
+	res, _ := idx.SearchStats(query, p, opts)
+	return res
+}
+
+// SearchStats is Search plus evaluation statistics (pruning and skip
+// counters for experiments and benchmarks).
+func (idx *Index) SearchStats(query string, p Params, opts Options) ([]Result, Stats) {
 	if opts.Limit <= 0 {
 		opts.Limit = 10
 	}
-	qterms := termCounts(query, idx.stop)
+	if opts.Offset < 0 {
+		opts.Offset = 0
+	}
+	qterms := idx.queryTerms(query)
 	if len(qterms) == 0 {
-		// Fall back to raw lower-cased terms: the query may consist of
-		// stopwords or short tokens only.
-		for _, f := range strings.Fields(strings.ToLower(query)) {
-			qterms[f]++
-		}
+		return []Result{}, Stats{}
 	}
-	scores := make(map[int]float64)
-	n := float64(len(idx.docs))
-	for term := range qterms {
-		plist := idx.postings[term]
-		if len(plist) == 0 {
+	var stats Stats
+	qterms = idx.expandQuery(qterms, p, opts, &stats)
+	return idx.evaluate(qterms, p, opts, &stats), stats
+}
+
+// qterm is one compiled query term: a term ID and the query-side weight
+// its contributions are multiplied by (1 for original terms, the scaled
+// expansion weight for expansion terms).
+type qterm struct {
+	id     uint32
+	weight float64
+}
+
+// queryTerms tokenizes and dedupes the query, keeping only terms the
+// dictionary knows (anything else cannot match), sorted by term string
+// for determinism.
+func (idx *Index) queryTerms(query string) []qterm {
+	toks := idx.filterTokens(query)
+	if len(toks) == 0 {
+		return nil
+	}
+	sort.Strings(toks)
+	out := make([]qterm, 0, len(toks))
+	var prev string
+	for i, t := range toks {
+		if i > 0 && t == prev {
 			continue
 		}
-		df := float64(len(plist))
-		var idf float64
-		switch p.Scoring {
-		case BM25:
-			idf = math.Log(1 + (n-df+0.5)/(df+0.5))
-		default:
-			idf = math.Log((n + 1) / (df + 1))
+		prev = t
+		if id, ok := idx.dict.lookup(t); ok {
+			out = append(out, qterm{id: id, weight: 1})
 		}
-		for _, post := range plist {
-			tf := float64(post.tf) + p.TitleBoost*float64(post.tit)
-			if tf == 0 {
-				continue
-			}
-			var s float64
-			switch p.Scoring {
-			case BM25:
-				k1, b := p.K1, p.B
-				if k1 == 0 {
-					k1 = 1.2
-				}
-				if b == 0 {
-					b = 0.75
-				}
-				norm := tf + k1*(1-b+b*float64(idx.docLen[post.doc])/idx.avgLen)
-				s = idf * tf * (k1 + 1) / norm
-			default:
-				s = idf * (1 + math.Log(tf))
-			}
-			scores[post.doc] += s
-		}
-	}
-	out := make([]Result, 0, len(scores))
-	for doc, score := range scores {
-		d := idx.docs[doc]
-		if opts.NewsOnly && d.Kind != "news" {
-			continue
-		}
-		out = append(out, Result{
-			DocID:     d.ID,
-			URL:       d.URL,
-			Title:     d.Title,
-			Kind:      d.Kind,
-			Score:     score,
-			Published: d.Published.Format("2006-01-02T15:04:05Z07:00"),
-		})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].DocID < out[j].DocID
-	})
-	if len(out) > opts.Limit {
-		out = out[:opts.Limit]
 	}
 	return out
+}
+
+// expandQuery appends up to ExpandTerms weighted expansion terms when
+// the search opts in and the index carries expansion tables. Candidates
+// from all original terms are merged (keeping each candidate's strongest
+// weight), ranked by weight then term, and never duplicate an original.
+func (idx *Index) expandQuery(qterms []qterm, p Params, opts Options, stats *Stats) []qterm {
+	if !opts.Expand || idx.expander == nil || p.ExpandWeight <= 0 {
+		return qterms
+	}
+	maxTerms := p.ExpandTerms
+	if maxTerms <= 0 {
+		maxTerms = 2
+	}
+	present := make(map[uint32]bool, len(qterms))
+	for _, q := range qterms {
+		present[q.id] = true
+	}
+	best := make(map[string]float64)
+	for _, q := range qterms {
+		for _, ex := range idx.expander.Expand(idx.dict.terms[q.id], maxTerms) {
+			if ex.Weight > best[ex.Term] {
+				best[ex.Term] = ex.Weight
+			}
+		}
+	}
+	candidates := make([]lexicon.Expansion, 0, len(best))
+	for t, w := range best {
+		candidates = append(candidates, lexicon.Expansion{Term: t, Weight: w})
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].Weight != candidates[j].Weight {
+			return candidates[i].Weight > candidates[j].Weight
+		}
+		return candidates[i].Term < candidates[j].Term
+	})
+	added := 0
+	for _, c := range candidates {
+		if added >= maxTerms {
+			break
+		}
+		id, ok := idx.dict.lookup(c.Term)
+		if !ok || present[id] {
+			continue
+		}
+		present[id] = true
+		qterms = append(qterms, qterm{id: id, weight: p.ExpandWeight * c.Weight})
+		added++
+	}
+	stats.Expanded = added
+	return qterms
 }

@@ -1,0 +1,162 @@
+package search_test
+
+// Equivalence oracle: the block-max top-k evaluator is exercised against
+// the frozen seed engine (internal/search/searchref) over randomized
+// corpora, query shapes, tunings, limits, and the news restriction. With
+// expansion off the two must agree exactly — same document sequence, same
+// Score-then-DocID tie-break order — which proves the pruning lossless.
+// Scores are compared with a small relative tolerance: the engines
+// accumulate per-term contributions in different orders, so last-ulp
+// differences are expected while ranking differences are not.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/search"
+	"repro/internal/search/searchref"
+	"repro/internal/webcorpus"
+)
+
+// oracleParams covers the stock tunings plus stress shapes: explicit
+// defaults, no title boost, a fractional boost (title-only TF-IDF
+// contributions go negative below 1/e), and extreme BM25 constants.
+var oracleParams = []struct {
+	name string
+	new  search.Params
+	ref  searchref.Params
+}{
+	{"tuningG", search.TuningG, searchref.Params{Scoring: searchref.BM25, K1: 1.2, B: 0.75, TitleBoost: 2}},
+	{"tuningB", search.TuningB, searchref.Params{Scoring: searchref.TFIDF, TitleBoost: 1.5}},
+	{"tuningY", search.TuningY, searchref.Params{Scoring: searchref.BM25, K1: 2.0, B: 0.5}},
+	{"bm25-noboost", search.Params{Scoring: search.BM25}, searchref.Params{Scoring: searchref.BM25}},
+	{"tfidf-fractional-boost", search.Params{Scoring: search.TFIDF, TitleBoost: 0.2}, searchref.Params{Scoring: searchref.TFIDF, TitleBoost: 0.2}},
+	{"tfidf-noboost", search.Params{Scoring: search.TFIDF}, searchref.Params{Scoring: searchref.TFIDF}},
+	{"bm25-saturated", search.Params{Scoring: search.BM25, K1: 0.4, B: 1, TitleBoost: 3}, searchref.Params{Scoring: searchref.BM25, K1: 0.4, B: 1, TitleBoost: 3}},
+}
+
+// oracleQuery samples a query from the corpus vocabulary: words drawn
+// from random documents (so most terms match something), occasionally
+// polluted with stopwords, short tokens, and unknown terms.
+func oracleQuery(rng *rand.Rand, c *webcorpus.Corpus) string {
+	d := c.Docs[rng.Intn(len(c.Docs))]
+	words := strings.Fields(d.Body + " " + d.Title)
+	n := 1 + rng.Intn(4)
+	var parts []string
+	for i := 0; i < n; i++ {
+		parts = append(parts, words[rng.Intn(len(words))])
+	}
+	switch rng.Intn(6) {
+	case 0:
+		parts = append(parts, "the", "of")
+	case 1:
+		parts = append(parts, "zzzunknownterm")
+	case 2:
+		parts = append(parts, parts[0]) // duplicate term
+	}
+	return strings.Join(parts, " ")
+}
+
+func compareResults(t *testing.T, label string, got []search.Result, want []searchref.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results, reference %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].DocID != want[i].DocID {
+			t.Fatalf("%s: rank %d: got %s (%.9f), reference %s (%.9f)",
+				label, i, got[i].DocID, got[i].Score, want[i].DocID, want[i].Score)
+		}
+		diff := math.Abs(got[i].Score - want[i].Score)
+		if diff > 1e-9*(math.Abs(want[i].Score)+1) {
+			t.Fatalf("%s: rank %d (%s): score %v, reference %v",
+				label, i, got[i].DocID, got[i].Score, want[i].Score)
+		}
+		if got[i].URL != want[i].URL || got[i].Title != want[i].Title ||
+			got[i].Kind != want[i].Kind || got[i].Published != want[i].Published {
+			t.Fatalf("%s: rank %d (%s): result fields diverge from reference",
+				label, i, got[i].DocID)
+		}
+	}
+}
+
+func TestSearchOracle(t *testing.T) {
+	sizes := []int{40, 300, 1500}
+	for _, size := range sizes {
+		size := size
+		t.Run(fmt.Sprintf("docs=%d", size), func(t *testing.T) {
+			t.Parallel()
+			corpus := webcorpus.Generate(webcorpus.Config{Seed: int64(size), NumDocs: size})
+			idx := search.BuildIndex(corpus)
+			ref := searchref.BuildIndex(corpus)
+			rng := rand.New(rand.NewSource(int64(size) * 7))
+			limits := []int{0, 1, 3, 10, 50, size + 10}
+			for q := 0; q < 60; q++ {
+				query := oracleQuery(rng, corpus)
+				pi := rng.Intn(len(oracleParams))
+				limit := limits[rng.Intn(len(limits))]
+				news := rng.Intn(3) == 0
+				label := fmt.Sprintf("q=%q params=%s limit=%d news=%v",
+					query, oracleParams[pi].name, limit, news)
+				got := idx.Search(query, oracleParams[pi].new,
+					search.Options{Limit: limit, NewsOnly: news})
+				want := ref.Search(query, oracleParams[pi].ref,
+					searchref.Options{Limit: limit, NewsOnly: news})
+				compareResults(t, label, got, want)
+			}
+		})
+	}
+}
+
+// TestSearchOffsetIsSuffix pins the pagination contract: page o of size l
+// is exactly the window [o, o+l) of the unpaginated ranking.
+func TestSearchOffsetIsSuffix(t *testing.T) {
+	corpus := webcorpus.Generate(webcorpus.Config{Seed: 5, NumDocs: 400})
+	idx := search.BuildIndex(corpus)
+	rng := rand.New(rand.NewSource(11))
+	for q := 0; q < 40; q++ {
+		query := oracleQuery(rng, corpus)
+		limit := 1 + rng.Intn(8)
+		offset := rng.Intn(30)
+		full := idx.Search(query, search.TuningG, search.Options{Limit: limit + offset})
+		page := idx.Search(query, search.TuningG, search.Options{Limit: limit, Offset: offset})
+		want := full
+		if offset < len(full) {
+			want = full[offset:]
+		} else {
+			want = nil
+		}
+		if len(page) != len(want) {
+			t.Fatalf("q=%q limit=%d offset=%d: page has %d results, window has %d",
+				query, limit, offset, len(page), len(want))
+		}
+		for i := range page {
+			if page[i] != want[i] {
+				t.Fatalf("q=%q limit=%d offset=%d rank %d: page %+v != window %+v",
+					query, limit, offset, i, page[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSearchStopwordOnlyQuery is the regression test for the seed's dead
+// fallback: a query of nothing but stopwords and single characters can
+// never match (such tokens are stripped at indexing time), and both
+// engines return an empty, non-nil result.
+func TestSearchStopwordOnlyQuery(t *testing.T) {
+	corpus := webcorpus.Generate(webcorpus.Config{Seed: 3, NumDocs: 50})
+	idx := search.BuildIndex(corpus)
+	ref := searchref.BuildIndex(corpus)
+	for _, query := range []string{"the", "of the and", "a b c", "  ", "to be or not to be"} {
+		got := idx.Search(query, search.TuningG, search.Options{})
+		if got == nil || len(got) != 0 {
+			t.Errorf("Search(%q) = %v, want empty non-nil result", query, got)
+		}
+		if want := ref.Search(query, searchref.Params{Scoring: searchref.BM25, K1: 1.2, B: 0.75, TitleBoost: 2}, searchref.Options{}); len(want) != 0 {
+			t.Errorf("reference engine unexpectedly returned %d hits for %q", len(want), query)
+		}
+	}
+}

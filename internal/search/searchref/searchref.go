@@ -1,0 +1,213 @@
+// Package searchref is the seed-era search engine, frozen verbatim at the
+// point the dictionary-coded block-max engine replaced it (the same
+// pattern as internal/rdf/rdfref): string-keyed postings, a full scan of
+// every matching posting list, a score map over all candidate docs, and a
+// final sort. It serves two purposes:
+//
+//   - randomized equivalence oracle: the pruned top-k evaluator in
+//     internal/search must return exactly this engine's results (same doc
+//     set, same Score-then-DocID tie-break order) with expansion disabled
+//     (internal/search/oracle_test.go, FuzzSearchQuery);
+//   - perf baseline: experiment E18 and TestSearchShape measure the new
+//     engine's near-flat query latency against this engine's linear
+//     corpus-size growth.
+//
+// Do not "fix" or optimize this package; it is the reference being
+// compared against. Known seed quirks are preserved deliberately — in
+// particular the dead stopword-only fallback in Search (the raw-field
+// fallback looks up terms the index never stores, so an all-stopword
+// query always returns zero hits), which the new engine turns into a
+// documented early return with identical observable behavior.
+package searchref
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/lexicon"
+	"repro/internal/nlu"
+	"repro/internal/webcorpus"
+)
+
+// posting records one document containing a term.
+type posting struct {
+	doc int // index into docs
+	tf  int // term frequency in the body
+	tit int // term frequency in the title
+}
+
+// Index is an immutable inverted index over a corpus. Build once, search
+// concurrently.
+type Index struct {
+	docs     []webcorpus.Document
+	postings map[string][]posting
+	docLen   []int
+	avgLen   float64
+	stop     map[string]bool
+}
+
+// BuildIndex indexes every document in the corpus.
+func BuildIndex(c *webcorpus.Corpus) *Index {
+	idx := &Index{
+		docs:     c.Docs,
+		postings: make(map[string][]posting),
+		docLen:   make([]int, len(c.Docs)),
+		stop:     lexicon.StopwordSet(),
+	}
+	var totalLen int
+	for i, d := range c.Docs {
+		bodyCounts := termCounts(d.Body, idx.stop)
+		titleCounts := termCounts(d.Title, idx.stop)
+		length := 0
+		for _, n := range bodyCounts {
+			length += n
+		}
+		idx.docLen[i] = length
+		totalLen += length
+		terms := make(map[string]posting)
+		for t, n := range bodyCounts {
+			p := terms[t]
+			p.doc = i
+			p.tf = n
+			terms[t] = p
+		}
+		for t, n := range titleCounts {
+			p := terms[t]
+			p.doc = i
+			p.tit = n
+			terms[t] = p
+		}
+		for t, p := range terms {
+			idx.postings[t] = append(idx.postings[t], p)
+		}
+	}
+	if len(c.Docs) > 0 {
+		idx.avgLen = float64(totalLen) / float64(len(c.Docs))
+	}
+	return idx
+}
+
+func termCounts(text string, stop map[string]bool) map[string]int {
+	counts := make(map[string]int)
+	for _, tok := range nlu.Tokenize(text) {
+		if len(tok.Lower) < 2 || stop[tok.Lower] {
+			continue
+		}
+		counts[tok.Lower]++
+	}
+	return counts
+}
+
+// Result is one search hit.
+type Result struct {
+	DocID     string  `json:"docId"`
+	URL       string  `json:"url"`
+	Title     string  `json:"title"`
+	Kind      string  `json:"kind"`
+	Score     float64 `json:"score"`
+	Published string  `json:"published"`
+}
+
+// Options controls one search.
+type Options struct {
+	// Limit bounds the result count. 0 means 10.
+	Limit int
+	// NewsOnly restricts hits to documents of kind "news".
+	NewsOnly bool
+}
+
+// Scoring selects the ranking function.
+type Scoring int
+
+// Scoring functions.
+const (
+	TFIDF Scoring = iota + 1
+	BM25
+)
+
+// Params tunes scoring.
+type Params struct {
+	Scoring    Scoring
+	K1         float64 // BM25 term-frequency saturation (typical 1.2)
+	B          float64 // BM25 length normalization (typical 0.75)
+	TitleBoost float64 // extra weight for title matches
+}
+
+// Search runs a ranked query against the index.
+func (idx *Index) Search(query string, p Params, opts Options) []Result {
+	if opts.Limit <= 0 {
+		opts.Limit = 10
+	}
+	qterms := termCounts(query, idx.stop)
+	if len(qterms) == 0 {
+		// Fall back to raw lower-cased terms: the query may consist of
+		// stopwords or short tokens only.
+		for _, f := range strings.Fields(strings.ToLower(query)) {
+			qterms[f]++
+		}
+	}
+	scores := make(map[int]float64)
+	n := float64(len(idx.docs))
+	for term := range qterms {
+		plist := idx.postings[term]
+		if len(plist) == 0 {
+			continue
+		}
+		df := float64(len(plist))
+		var idf float64
+		switch p.Scoring {
+		case BM25:
+			idf = math.Log(1 + (n-df+0.5)/(df+0.5))
+		default:
+			idf = math.Log((n + 1) / (df + 1))
+		}
+		for _, post := range plist {
+			tf := float64(post.tf) + p.TitleBoost*float64(post.tit)
+			if tf == 0 {
+				continue
+			}
+			var s float64
+			switch p.Scoring {
+			case BM25:
+				k1, b := p.K1, p.B
+				if k1 == 0 {
+					k1 = 1.2
+				}
+				if b == 0 {
+					b = 0.75
+				}
+				norm := tf + k1*(1-b+b*float64(idx.docLen[post.doc])/idx.avgLen)
+				s = idf * tf * (k1 + 1) / norm
+			default:
+				s = idf * (1 + math.Log(tf))
+			}
+			scores[post.doc] += s
+		}
+	}
+	out := make([]Result, 0, len(scores))
+	for doc, score := range scores {
+		d := idx.docs[doc]
+		if opts.NewsOnly && d.Kind != "news" {
+			continue
+		}
+		out = append(out, Result{
+			DocID:     d.ID,
+			URL:       d.URL,
+			Title:     d.Title,
+			Kind:      d.Kind,
+			Score:     score,
+			Published: d.Published.Format("2006-01-02T15:04:05Z07:00"),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].DocID < out[j].DocID
+	})
+	if len(out) > opts.Limit {
+		out = out[:opts.Limit]
+	}
+	return out
+}

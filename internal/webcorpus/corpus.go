@@ -57,6 +57,41 @@ type Config struct {
 	// Start is the timestamp of the oldest document. Zero means
 	// 2026-01-01 UTC.
 	Start time.Time
+	// MaxEntities caps how many entities a document mentions (each doc
+	// draws 1..MaxEntities). 0 means 3. At the default the generator's
+	// random sequence is unchanged, so existing seeds produce identical
+	// corpora.
+	MaxEntities int
+	// FillerMin/FillerMax bound the neutral filler sentences per document
+	// (inclusive), controlling document length and vocabulary spread.
+	// FillerMin 0 means 2; FillerMax below FillerMin means FillerMin+4
+	// (so the defaults are 2..6). Defaults again leave the random
+	// sequence untouched.
+	FillerMin int
+	FillerMax int
+}
+
+// fill applies Config defaults for the document-shape knobs.
+func (cfg Config) fill() Config {
+	if cfg.NumDocs <= 0 {
+		cfg.NumDocs = 200
+	}
+	if cfg.BaseURL == "" {
+		cfg.BaseURL = "http://web.local"
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if cfg.MaxEntities <= 0 {
+		cfg.MaxEntities = 3
+	}
+	if cfg.FillerMin <= 0 {
+		cfg.FillerMin = 2
+	}
+	if cfg.FillerMax < cfg.FillerMin {
+		cfg.FillerMax = cfg.FillerMin + 4
+	}
+	return cfg
 }
 
 var kinds = []string{"news", "news", "blog", "reference"} // news-heavy web
@@ -95,15 +130,7 @@ var fillerTemplates = []string{
 
 // Generate builds a corpus from cfg.
 func Generate(cfg Config) *Corpus {
-	if cfg.NumDocs <= 0 {
-		cfg.NumDocs = 200
-	}
-	if cfg.BaseURL == "" {
-		cfg.BaseURL = "http://web.local"
-	}
-	if cfg.Start.IsZero() {
-		cfg.Start = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
-	}
+	cfg = cfg.fill()
 	rng := xrand.New(cfg.Seed)
 	entities := lexicon.AllEntities()
 	c := &Corpus{
@@ -126,7 +153,7 @@ func Generate(cfg Config) *Corpus {
 func generateDoc(i int, cfg Config, rng *xrand.Source, entities []lexicon.Entity) Document {
 	id := fmt.Sprintf("doc-%06d", i)
 	kind := kinds[rng.Intn(len(kinds))]
-	nEntities := 1 + rng.Intn(3)
+	nEntities := 1 + rng.Intn(cfg.MaxEntities)
 	chosen := xrand.Sample(rng, entities, nEntities)
 
 	var sentences []string
@@ -179,7 +206,7 @@ func generateDoc(i int, cfg Config, rng *xrand.Source, entities []lexicon.Entity
 		}
 	}
 	// Neutral filler to vary length and vocabulary.
-	nFiller := 2 + rng.Intn(5)
+	nFiller := cfg.FillerMin + rng.Intn(cfg.FillerMax-cfg.FillerMin+1)
 	for f := 0; f < nFiller; f++ {
 		s := xrand.Choice(rng, fillerTemplates)
 		for strings.Contains(s, "%n") {
