@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check cover bench bench-rdf bench-search fmt
+.PHONY: build test vet race check cover bench bench-rdf bench-search bench-nlu fmt fmt-check
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ race:
 	$(GO) test -race ./...
 
 # check is the pre-merge gate.
-check: vet race
+check: fmt-check vet race
 
 # cover runs the full suite with per-package coverage percentages.
 cover:
@@ -54,5 +54,17 @@ bench-rdf:
 bench-search:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem ./internal/search
 
+# bench-nlu runs the NLU engine benchmarks: the interned token-ID hot
+# path vs the frozen pre-interning engines (internal/nlu/nluref), per
+# profile (BenchmarkAnalyzeInterned vs BenchmarkAnalyzeReference), plus
+# the fast reseedable rand source underneath it (BenchmarkSeedFast vs
+# BenchmarkSeedMathRand in internal/xrand).
+bench-nlu:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem ./internal/nlu ./internal/xrand
+
 fmt:
 	gofmt -w .
+
+# fmt-check fails if any file is not gofmt-clean, without rewriting.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

@@ -19,6 +19,8 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/failover"
 	"repro/internal/metrics"
+	"repro/internal/nlu"
+	"repro/internal/nlu/nluref"
 	"repro/internal/predict"
 	"repro/internal/rdf"
 	"repro/internal/rdf/rdfref"
@@ -30,7 +32,7 @@ import (
 )
 
 // Each benchmark regenerates one experiment table from DESIGN.md's
-// per-experiment index (E1-E15 reproduce paper claims; E16-E18 measure
+// per-experiment index (E1-E15 reproduce paper claims; E16-E19 measure
 // this repo's own engines; A1-A4 are design ablations). Benchmarks run
 // the experiment at a reduced scale per
 // iteration; run cmd/benchmark for full-scale tables.
@@ -82,6 +84,7 @@ func BenchmarkE15Vision(b *testing.B)         { benchExperiment(b, "E15") }
 func BenchmarkE16Pipeline(b *testing.B)       { benchExperiment(b, "E16") }
 func BenchmarkE17RDFScaling(b *testing.B)     { benchExperiment(b, "E17") }
 func BenchmarkE18SearchScaling(b *testing.B)  { benchExperiment(b, "E18") }
+func BenchmarkE19NLUIngest(b *testing.B)      { benchExperiment(b, "E19") }
 func BenchmarkA1CacheAblation(b *testing.B)   { benchExperiment(b, "A1") }
 func BenchmarkA2ScoreAblation(b *testing.B)   { benchExperiment(b, "A2") }
 func BenchmarkA3PredictAblation(b *testing.B) { benchExperiment(b, "A3") }
@@ -93,7 +96,7 @@ func TestEveryExperimentHasABenchmark(t *testing.T) {
 		"E1": true, "E2": true, "E3": true, "E4": true, "E5": true,
 		"E6": true, "E7": true, "E8": true, "E9": true, "E10": true,
 		"E11": true, "E12": true, "E13": true, "E14": true, "E15": true,
-		"E16": true, "E17": true, "E18": true,
+		"E16": true, "E17": true, "E18": true, "E19": true,
 		"A1": true, "A2": true, "A3": true, "A4": true,
 	}
 	for _, e := range experiments.All() {
@@ -887,5 +890,130 @@ func TestSearchShape(t *testing.T) {
 	if baseBest < 5*prunedBest {
 		t.Errorf("pruned engine (%v) is only %.1fx faster than the seed baseline (%v), want >= 5x",
 			prunedBest, float64(baseBest)/float64(prunedBest), baseBest)
+	}
+}
+
+// TestNLUShape is the tier-1 guard for the interned NLU hot path (PR
+// "unify term interning into a shared symbol-table layer and rebuild the
+// NLU hot path on token IDs"): on a generated corpus every
+// Engine.Analyze output must be bit-identical to the frozen
+// pre-interning engines in nluref — including the profiles whose
+// drop/spurious/noise paths consume randomness — and the interned path
+// must deliver >= 2x the reference's documents/sec with >= 5x fewer
+// steady-state heap allocations per document.
+func TestNLUShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NLU guard skipped in -short mode")
+	}
+	corpus := webcorpus.Generate(webcorpus.Config{Seed: 19, NumDocs: 200})
+	texts := make([]string, len(corpus.Docs))
+	for i, d := range corpus.Docs {
+		texts[i] = d.Body
+	}
+	engines := []*nlu.Engine{
+		nlu.NewEngine(nlu.ProfileAlpha), nlu.NewEngine(nlu.ProfileBeta), nlu.NewEngine(nlu.ProfileGamma),
+	}
+	refs := []*nluref.Engine{
+		nluref.NewEngine(nluref.ProfileAlpha), nluref.NewEngine(nluref.ProfileBeta), nluref.NewEngine(nluref.ProfileGamma),
+	}
+
+	// Correctness: bit-identical analyses on every document and profile.
+	// This pass also warms the interned path's pooled scratch.
+	for i, text := range texts {
+		for j := range engines {
+			got, err := json.Marshal(engines[j].Analyze(text))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := json.Marshal(refs[j].Analyze(text))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("doc %d profile %s diverged\n got %s\nwant %s",
+					i, engines[j].Profile().Name, got, want)
+			}
+		}
+	}
+
+	if raceEnabled {
+		t.Skip("timing and allocation legs skipped under the race detector: instrumentation distorts relative costs")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	// Allocations: steady state (scratch pool warm), averaged per
+	// document across all three profiles. GC stays disabled so the pool
+	// is not drained mid-measurement.
+	sample := texts[:20]
+	perDoc := func(run func(string)) float64 {
+		return testing.AllocsPerRun(3, func() {
+			for _, text := range sample {
+				run(text)
+			}
+		}) / float64(3*len(sample))
+	}
+	newAllocs := perDoc(func(text string) {
+		for _, e := range engines {
+			e.Analyze(text)
+		}
+	})
+	refAllocs := perDoc(func(text string) {
+		for _, r := range refs {
+			r.Analyze(text)
+		}
+	})
+	t.Logf("steady-state allocs/doc (3 profiles): interned %.1f, reference %.1f, reduction %.1fx",
+		newAllocs, refAllocs, refAllocs/newAllocs)
+	if newAllocs*5 > refAllocs {
+		t.Errorf("interned path allocates %.1f/doc vs reference %.1f/doc, want >= 5x reduction",
+			newAllocs, refAllocs)
+	}
+	if newAllocs > 12 {
+		t.Errorf("interned path steady state = %.1f allocs/doc, want <= 12 (pool or interning regression)", newAllocs)
+	}
+
+	newRun := func() time.Duration {
+		start := time.Now()
+		for _, text := range texts {
+			for _, e := range engines {
+				e.Analyze(text)
+			}
+		}
+		return time.Since(start)
+	}
+	refRun := func() time.Duration {
+		start := time.Now()
+		for _, text := range texts {
+			for _, r := range refs {
+				r.Analyze(text)
+			}
+		}
+		return time.Since(start)
+	}
+	measure := func(rounds int) (newBest, refBest time.Duration) {
+		newBest, refBest = 1<<62, 1<<62
+		for r := 0; r < rounds; r++ {
+			runtime.GC()
+			var nw, rf time.Duration
+			if r%2 == 0 {
+				nw, rf = newRun(), refRun()
+			} else {
+				rf, nw = refRun(), newRun()
+			}
+			newBest, refBest = min(newBest, nw), min(refBest, rf)
+		}
+		return newBest, refBest
+	}
+	newBest, refBest := measure(2)
+	if refBest < 2*newBest {
+		newBest, refBest = measure(3) // could be interference; re-measure before failing
+	}
+	docs := float64(len(texts))
+	t.Logf("%d docs x 3 profiles: interned %v (%.0f docs/s), reference %v (%.0f docs/s), speedup %.2fx",
+		len(texts), newBest, docs/newBest.Seconds(), refBest, docs/refBest.Seconds(),
+		float64(refBest)/float64(newBest))
+	if refBest < 2*newBest {
+		t.Errorf("interned path (%v) is only %.2fx the reference's throughput (%v), want >= 2x",
+			newBest, float64(refBest)/float64(newBest), refBest)
 	}
 }

@@ -469,8 +469,8 @@ func TestE17InferenceScalingShape(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	entries := All()
-	if len(entries) != 22 {
-		t.Errorf("registry has %d entries, want 22 (E1-E18 + A1-A4)", len(entries))
+	if len(entries) != 23 {
+		t.Errorf("registry has %d entries, want 23 (E1-E19 + A1-A4)", len(entries))
 	}
 	seen := map[string]bool{}
 	for _, e := range entries {

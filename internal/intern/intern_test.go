@@ -1,0 +1,117 @@
+package intern
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDictInternAssignsDenseStableIDs(t *testing.T) {
+	d := NewDict[string]()
+	words := []string{"alpha", "beta", "gamma", "beta", "alpha", "delta"}
+	want := []uint32{0, 1, 2, 1, 0, 3}
+	for i, w := range words {
+		if id := d.Intern(w); id != want[i] {
+			t.Errorf("Intern(%q) = %d, want %d", w, id, want[i])
+		}
+	}
+	if d.Len() != 4 {
+		t.Errorf("Len = %d, want 4", d.Len())
+	}
+	for id, w := range []string{"alpha", "beta", "gamma", "delta"} {
+		if got := d.Value(uint32(id)); got != w {
+			t.Errorf("Value(%d) = %q, want %q", id, got, w)
+		}
+	}
+}
+
+func TestDictLookupDoesNotAssign(t *testing.T) {
+	d := NewDict[string]()
+	d.Intern("known")
+	if _, ok := d.Lookup("unknown"); ok {
+		t.Error("Lookup invented an ID")
+	}
+	if d.Len() != 1 {
+		t.Errorf("Lookup grew the dictionary to %d entries", d.Len())
+	}
+	if id, ok := d.Lookup("known"); !ok || id != 0 {
+		t.Errorf("Lookup(known) = %d, %v", id, ok)
+	}
+}
+
+func TestDictNonStringKeys(t *testing.T) {
+	type term struct {
+		kind int
+		val  string
+	}
+	d := NewDict[term]()
+	a := d.Intern(term{1, "x"})
+	b := d.Intern(term{2, "x"}) // same value, different kind: distinct
+	if a == b {
+		t.Error("distinct composite keys shared an ID")
+	}
+	if got := d.Value(a); got != (term{1, "x"}) {
+		t.Errorf("Value(%d) = %+v", a, got)
+	}
+}
+
+func TestFreezeSnapshotsAndDisablesDict(t *testing.T) {
+	d := NewDict[string]()
+	for i := 0; i < 100; i++ {
+		d.Intern(fmt.Sprintf("w%03d", i))
+	}
+	f := d.Freeze()
+	if f.Len() != 100 {
+		t.Fatalf("frozen Len = %d, want 100", f.Len())
+	}
+	for i := 0; i < 100; i++ {
+		w := fmt.Sprintf("w%03d", i)
+		id, ok := f.Lookup(w)
+		if !ok || id != uint32(i) {
+			t.Fatalf("Lookup(%q) = %d, %v", w, id, ok)
+		}
+		if f.Value(uint32(i)) != w {
+			t.Fatalf("Value(%d) = %q", i, f.Value(uint32(i)))
+		}
+	}
+	if _, ok := f.Lookup("absent"); ok {
+		t.Error("frozen Lookup invented an ID")
+	}
+	// The source Dict is dead after Freeze: interning must panic, not race.
+	defer func() {
+		if recover() == nil {
+			t.Error("Intern after Freeze did not panic")
+		}
+	}()
+	d.Intern("late")
+}
+
+func TestLookupBytes(t *testing.T) {
+	d := NewDict[string]()
+	d.Intern("hello")
+	d.Intern("world")
+	if id, ok := DictLookupBytes(d, []byte("world")); !ok || id != 1 {
+		t.Errorf("DictLookupBytes(world) = %d, %v", id, ok)
+	}
+	f := d.Freeze()
+	if id, ok := LookupBytes(f, []byte("hello")); !ok || id != 0 {
+		t.Errorf("LookupBytes(hello) = %d, %v", id, ok)
+	}
+	if _, ok := LookupBytes(f, []byte("nope")); ok {
+		t.Error("LookupBytes invented an ID")
+	}
+}
+
+func TestLookupBytesZeroAlloc(t *testing.T) {
+	d := NewDict[string]()
+	d.Intern("steady")
+	f := d.Freeze()
+	buf := []byte("steady")
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := LookupBytes(f, buf); !ok {
+			t.Fatal("lost the key")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("LookupBytes allocates %.1f/op, want 0", allocs)
+	}
+}

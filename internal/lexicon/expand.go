@@ -4,6 +4,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"repro/internal/intern"
 )
 
 // This file is the query-expansion layer: a synonym/alias table seeded
@@ -190,12 +192,11 @@ func (c PMIConfig) fill() PMIConfig {
 //	PMI(x, y) = log( count(x,y) · N / (count(x) · count(y)) ),
 //
 // where N is the total number of pair observations. Terms are interned
-// against a private dictionary so the pair counters are a compact
+// through the shared intern.Dict so the pair counters are a compact
 // uint64-keyed map rather than string-pair keys.
 type PMIBuilder struct {
 	cfg   PMIConfig
-	ids   map[string]uint32
-	terms []string
+	dict  *intern.Dict[string]
 	occ   []int
 	pairs map[uint64]int
 	total int
@@ -205,19 +206,16 @@ type PMIBuilder struct {
 func NewPMIBuilder(cfg PMIConfig) *PMIBuilder {
 	return &PMIBuilder{
 		cfg:   cfg.fill(),
-		ids:   make(map[string]uint32),
+		dict:  intern.NewDict[string](),
 		pairs: make(map[uint64]int),
 	}
 }
 
 func (b *PMIBuilder) intern(t string) uint32 {
-	if id, ok := b.ids[t]; ok {
-		return id
+	id := b.dict.Intern(t)
+	if int(id) == len(b.occ) {
+		b.occ = append(b.occ, 0)
 	}
-	id := uint32(len(b.terms))
-	b.ids[t] = id
-	b.terms = append(b.terms, t)
-	b.occ = append(b.occ, 0)
 	return id
 }
 
@@ -280,13 +278,13 @@ func (b *PMIBuilder) Build() map[string][]Expansion {
 	for id, ns := range byTerm {
 		s := make([]Expansion, 0, len(ns))
 		for _, nb := range ns {
-			s = append(s, Expansion{Term: b.terms[nb.term], Weight: nb.pmi / (1 + nb.pmi)})
+			s = append(s, Expansion{Term: b.dict.Value(nb.term), Weight: nb.pmi / (1 + nb.pmi)})
 		}
 		sortExpansions(s)
 		if len(s) > b.cfg.MaxNeighbors {
 			s = s[:b.cfg.MaxNeighbors]
 		}
-		table[b.terms[id]] = s
+		table[b.dict.Value(id)] = s
 	}
 	return table
 }

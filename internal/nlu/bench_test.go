@@ -1,68 +1,58 @@
-package nlu
+package nlu_test
+
+// Per-profile Engine.Analyze micro-benchmarks against the frozen
+// pre-interning reference. TestNLUShape (repo root) is the pass/fail
+// guard; these give the per-profile breakdown:
+//
+//	go test ./internal/nlu -run '^$' -bench BenchmarkAnalyze -benchmem
 
 import (
-	"strings"
 	"testing"
 
-	"repro/internal/lexicon"
+	"repro/internal/nlu"
+	"repro/internal/nlu/nluref"
+	"repro/internal/webcorpus"
 )
 
-var benchDoc = strings.Repeat(
-	"Acme Corporation reported excellent quarterly earnings while analysts in "+
-		"Germany praised the remarkable growth of the technology market. "+
-		"Globex Industries suffered a dismal decline amid the scandal. ", 5)
+func benchTexts() []string {
+	c := webcorpus.Generate(webcorpus.Config{Seed: 19, NumDocs: 64})
+	out := make([]string, len(c.Docs))
+	for i, d := range c.Docs {
+		out[i] = d.Body
+	}
+	return out
+}
 
-func BenchmarkTokenize(b *testing.B) {
-	b.ReportAllocs()
-	b.SetBytes(int64(len(benchDoc)))
-	for i := 0; i < b.N; i++ {
-		if got := Tokenize(benchDoc); len(got) == 0 {
-			b.Fatal("no tokens")
-		}
+func BenchmarkAnalyzeInterned(b *testing.B) {
+	for _, p := range []nlu.Profile{nlu.ProfileAlpha, nlu.ProfileBeta, nlu.ProfileGamma} {
+		b.Run(p.Name, func(b *testing.B) {
+			texts := benchTexts()
+			e := nlu.NewEngine(p)
+			for _, t := range texts {
+				e.Analyze(t)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Analyze(texts[i%len(texts)])
+			}
+		})
 	}
 }
 
-func BenchmarkMatcherNER(b *testing.B) {
-	m := NewMatcher(lexicon.AllEntities())
-	tokens := Tokenize(benchDoc)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if got := m.Match(benchDoc, tokens); len(got) == 0 {
-			b.Fatal("no mentions")
-		}
-	}
-}
-
-func BenchmarkDocumentSentiment(b *testing.B) {
-	tokens := Tokenize(benchDoc)
-	weights := lexicon.SentimentWeights()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		DocumentSentiment(tokens, weights)
-	}
-}
-
-func BenchmarkFullAnalysis(b *testing.B) {
-	e := NewEngine(ProfileAlpha)
-	b.ReportAllocs()
-	b.SetBytes(int64(len(benchDoc)))
-	for i := 0; i < b.N; i++ {
-		a := e.Analyze(benchDoc)
-		if len(a.Entities) == 0 {
-			b.Fatal("no entities")
-		}
-	}
-}
-
-func BenchmarkDisambiguatorResolve(b *testing.B) {
-	d := NewDisambiguator()
-	surfaces := []string{"USA", "Germany", "Acme Corp", "the states", "Nippon"}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, ok := d.Resolve(surfaces[i%len(surfaces)]); !ok {
-			b.Fatal("unresolved")
-		}
+func BenchmarkAnalyzeReference(b *testing.B) {
+	for _, p := range []nluref.Profile{nluref.ProfileAlpha, nluref.ProfileBeta, nluref.ProfileGamma} {
+		b.Run(p.Name, func(b *testing.B) {
+			texts := benchTexts()
+			e := nluref.NewEngine(p)
+			for _, t := range texts {
+				e.Analyze(t)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Analyze(texts[i%len(texts)])
+			}
+		})
 	}
 }

@@ -3,8 +3,10 @@ package nlu
 import (
 	"context"
 	"fmt"
-	"hash/fnv"
+	"math"
 	"strings"
+	"unicode"
+	"unicode/utf8"
 
 	"repro/internal/lexicon"
 	"repro/internal/service"
@@ -49,11 +51,13 @@ var (
 // construction and safe for concurrent use: per-document noise derives from
 // a hash of the text, so the same document always produces the same
 // analysis (the behaviour that makes caching semantically sound).
+//
+// Analyze runs on interned token IDs against the shared process-wide
+// vocabulary, with all per-document scratch drawn from a pool; the frozen
+// string-based implementation it is pinned against lives in nluref.
 type Engine struct {
 	profile Profile
 	matcher *Matcher
-	stop    map[string]bool
-	weights map[string]float64
 }
 
 // NewEngine returns an engine with the given profile over the built-in
@@ -68,28 +72,36 @@ func NewEngine(profile Profile) *Engine {
 	return &Engine{
 		profile: profile,
 		matcher: NewMatcher(lexicon.AllEntities()),
-		stop:    lexicon.StopwordSet(),
-		weights: lexicon.SentimentWeights(),
 	}
 }
 
 // Profile returns the engine's profile.
 func (e *Engine) Profile() Profile { return e.profile }
 
-// docRNG derives a deterministic noise source from the engine seed and the
-// document content.
-func (e *Engine) docRNG(text string) *xrand.Source {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(text))
-	return xrand.New(e.profile.Seed ^ int64(h.Sum64()))
+// fnv64a is hash/fnv's 64-bit FNV-1a inlined to avoid the per-document
+// hasher allocation on the Analyze hot path.
+func fnv64a(s string) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
 }
 
-// Analyze performs the full analysis of one document.
+// Analyze performs the full analysis of one document. The noise source is
+// reseeded (not reallocated) per document from the engine seed and the
+// text hash, and every random draw happens in the same sequence as the
+// reference implementation, keeping results bit-identical to nluref.
 func (e *Engine) Analyze(text string) Analysis {
-	tokens := Tokenize(text)
-	rng := e.docRNG(text)
+	v := vocab()
+	d := docPool.Get().(*doc)
+	d.scan(text, v, e.matcher.extra)
+	rng := d.rng
+	rng.Reseed(e.profile.Seed ^ int64(fnv64a(text)))
 
-	mentions := e.matcher.Match(text, tokens)
+	mentions := e.matcher.matchDoc(text, d)
 	// Profile-driven recall loss.
 	if e.profile.DropRate > 0 {
 		kept := mentions[:0]
@@ -101,33 +113,49 @@ func (e *Engine) Analyze(text string) Analysis {
 		mentions = kept
 	}
 	if e.profile.UseHeuristics {
-		mentions = append(mentions, HeuristicMentions(text, tokens, mentions, e.stop)...)
+		mentions = append(mentions, d.heuristicMentions(text, mentions)...)
 	}
 	// Profile-driven false positives: fabricate a mention per sentence
-	// with some probability.
+	// with some probability. Sentences and their whitespace-split words
+	// are walked in place rather than materialized — same sentence
+	// sequence and random draws as `for _, s := range Sentences(text)`
+	// with a strings.Fields pick, without the per-sentence allocations.
 	if e.profile.SpuriousRate > 0 {
-		for _, s := range Sentences(text) {
-			if rng.Bernoulli(e.profile.SpuriousRate) {
-				words := strings.Fields(s)
-				if len(words) == 0 {
-					continue
-				}
-				w := words[rng.Intn(len(words))]
-				w = strings.Trim(w, ".,!?;:'\"")
-				if len(w) < 3 {
-					continue
-				}
-				mentions = append(mentions, Mention{
-					EntityID: "unknown:" + strings.ToLower(w),
-					Surface:  w,
-					Kind:     "Unknown",
-				})
+		for off := 0; ; {
+			s, next, more := nextSentence(text, off)
+			if !more {
+				break
 			}
+			off = next
+			if s == "" || !rng.Bernoulli(e.profile.SpuriousRate) {
+				continue
+			}
+			w, ok := spuriousWord(s, rng)
+			if !ok {
+				continue
+			}
+			w = strings.Trim(w, ".,!?;:'\"")
+			if len(w) < 3 {
+				continue
+			}
+			mentions = append(mentions, Mention{
+				EntityID: "unknown:" + strings.ToLower(w),
+				Surface:  w,
+				Kind:     "Unknown",
+			})
 		}
 	}
 	sortMentions(mentions)
 
-	sentiment := DocumentSentiment(tokens, e.weights)
+	d.scanSentiment(v)
+	sentiment := 0.0
+	if len(d.hits) > 0 {
+		var sum float64
+		for _, h := range d.hits {
+			sum += h.weight
+		}
+		sentiment = math.Tanh(sum / 3)
+	}
 	if e.profile.SentimentNoise > 0 {
 		sentiment += rng.NormFloat64() * e.profile.SentimentNoise
 		if sentiment > 1 {
@@ -138,16 +166,88 @@ func (e *Engine) Analyze(text string) Analysis {
 		}
 	}
 
-	return Analysis{
+	a := Analysis{
 		Engine:           e.profile.Name,
 		Entities:         mentions,
-		Keywords:         ExtractKeywords(tokens, e.stop, e.profile.MaxKeywords),
+		Keywords:         d.keywords(v, e.profile.MaxKeywords),
 		Sentiment:        sentiment,
-		EntitySentiments: EntitySentiments(tokens, mentions, e.weights),
-		Concepts:         ExtractConcepts(tokens, mentions, e.profile.MaxConcepts),
-		Relations:        ExtractRelations(text, tokens, mentions, nil),
+		EntitySentiments: d.entitySentiments(mentions),
+		Concepts:         d.concepts(v, mentions, e.profile.MaxConcepts),
+		Relations:        d.relations(v, text, mentions),
 		Language:         "en",
 	}
+	d.release()
+	return a
+}
+
+// nextSentence returns the trimmed sentence beginning at byte offset off
+// and the offset just past its terminator. more is false once off is at
+// the end of the text. The sequence of non-empty values is exactly what
+// Sentences(text) returns (including its replacement of invalid UTF-8
+// with U+FFFD), with empty flushes surfacing as s == "".
+func nextSentence(text string, off int) (s string, next int, more bool) {
+	if off >= len(text) {
+		return "", off, false
+	}
+	for i, r := range text[off:] {
+		if r == '.' || r == '!' || r == '?' || r == '…' {
+			// The terminator matched, so r is a genuinely decoded rune
+			// (never the 1-byte RuneError) and RuneLen is its true width.
+			end := off + i + utf8.RuneLen(r)
+			return sentenceChunk(text[off:end]), end, true
+		}
+	}
+	return sentenceChunk(text[off:]), len(text), true
+}
+
+// sentenceChunk reproduces one flush of the rune-builder in Sentences:
+// for valid UTF-8 that is just a trimmed substring; invalid bytes decode
+// to U+FFFD, which only then forces a rebuild.
+func sentenceChunk(chunk string) string {
+	if !utf8.ValidString(chunk) {
+		var b strings.Builder
+		for _, r := range chunk {
+			b.WriteRune(r)
+		}
+		chunk = b.String()
+	}
+	return strings.TrimSpace(chunk)
+}
+
+// spuriousWord picks the same word as indexing strings.Fields(s) with
+// rng.Intn would, consuming randomness identically (no draw when the
+// sentence has no fields), but walks the fields in place.
+func spuriousWord(s string, rng *xrand.Source) (string, bool) {
+	n := 0
+	inField := false
+	for _, r := range s {
+		if unicode.IsSpace(r) {
+			inField = false
+		} else if !inField {
+			inField = true
+			n++
+		}
+	}
+	if n == 0 {
+		return "", false
+	}
+	idx := rng.Intn(n)
+	k := -1
+	start := 0
+	inField = false
+	for pos, r := range s {
+		if unicode.IsSpace(r) {
+			if inField && k == idx {
+				return s[start:pos], true
+			}
+			inField = false
+		} else if !inField {
+			inField = true
+			k++
+			start = pos
+		}
+	}
+	return s[start:], true
 }
 
 func sortMentions(ms []Mention) {

@@ -1,0 +1,68 @@
+package nlu_test
+
+// FuzzTokenize asserts the tokenizer's structural invariants on
+// arbitrary byte soup — offsets in bounds and strictly ordered, Text
+// slicing back out of the input, Lower really being the lower-casing,
+// sentence flags starting the stream — and locks the tokenizer to the
+// frozen reference on pure-ASCII input, where the two are specified to
+// agree byte for byte.
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"repro/internal/nlu"
+	"repro/internal/nlu/nluref"
+)
+
+func FuzzTokenize(f *testing.F) {
+	f.Add("The quick brown fox. It's fast!")
+	f.Add("profits—losses… “quotes” and it’s")
+	f.Add("Zürich 東京 café naïve")
+	f.Add("a\x80b\xff\xfe…")
+	f.Add("... !!! ??? 42% Q3, runners' it's")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		tokens := nlu.Tokenize(text)
+		prevEnd := 0
+		for i, tok := range tokens {
+			if tok.Start < prevEnd || tok.End <= tok.Start || tok.End > len(text) {
+				t.Fatalf("token %d span [%d,%d) out of order or bounds (prev end %d, len %d)",
+					i, tok.Start, tok.End, prevEnd, len(text))
+			}
+			prevEnd = tok.End
+			if text[tok.Start:tok.End] != tok.Text {
+				t.Fatalf("token %d Text %q != text[%d:%d] %q", i, tok.Text, tok.Start, tok.End, text[tok.Start:tok.End])
+			}
+			if tok.Lower != strings.ToLower(tok.Text) {
+				t.Fatalf("token %d Lower %q != ToLower(%q)", i, tok.Lower, tok.Text)
+			}
+			if i == 0 && !tok.SentenceStart {
+				t.Fatal("first token does not start a sentence")
+			}
+		}
+		// On pure-ASCII input the fixed tokenizer and the frozen
+		// reference must agree exactly.
+		if utf8.ValidString(text) {
+			ascii := true
+			for i := 0; i < len(text); i++ {
+				if text[i] >= 0x80 {
+					ascii = false
+					break
+				}
+			}
+			if ascii {
+				ref := nluref.Tokenize(text)
+				if len(ref) != len(tokens) {
+					t.Fatalf("ASCII divergence: %d tokens vs reference %d", len(tokens), len(ref))
+				}
+				for i := range tokens {
+					if tokens[i] != nlu.Token(ref[i]) {
+						t.Fatalf("ASCII divergence at token %d: %+v vs %+v", i, tokens[i], ref[i])
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package nluref
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"repro/internal/lexicon"
+	"repro/internal/service"
+	"repro/internal/xrand"
+)
+
+// Profile tunes an engine's quality characteristics. Real NLU vendors
+// differ in precision, recall, and noise; the three stock profiles below
+// stand in for competing services so the SDK's ranking, result comparison,
+// and consensus aggregation have genuine quality differences to observe.
+type Profile struct {
+	// Name identifies the engine ("nlu-alpha" etc.).
+	Name string
+	// UseHeuristics enables capitalized-run detection on top of the
+	// gazetteer: more recall, more false positives.
+	UseHeuristics bool
+	// DropRate is the probability of missing a true gazetteer mention.
+	DropRate float64
+	// SpuriousRate is the probability per sentence of emitting a
+	// fabricated mention.
+	SpuriousRate float64
+	// SentimentNoise is the standard deviation of Gaussian noise added
+	// to sentiment scores.
+	SentimentNoise float64
+	// MaxKeywords bounds keyword output. 0 means 10.
+	MaxKeywords int
+	// MaxConcepts bounds concept output. 0 means 5.
+	MaxConcepts int
+	// Seed decorrelates this engine's noise from other engines'.
+	Seed int64
+}
+
+// Stock profiles: alpha is the precision-oriented vendor, beta the
+// recall-oriented one, gamma the cheap noisy one.
+var (
+	ProfileAlpha = Profile{Name: "nlu-alpha", UseHeuristics: false, DropRate: 0.02, SentimentNoise: 0.02, Seed: 101}
+	ProfileBeta  = Profile{Name: "nlu-beta", UseHeuristics: true, DropRate: 0.08, SpuriousRate: 0.05, SentimentNoise: 0.05, Seed: 202}
+	ProfileGamma = Profile{Name: "nlu-gamma", UseHeuristics: true, DropRate: 0.25, SpuriousRate: 0.15, SentimentNoise: 0.15, Seed: 303}
+)
+
+// Engine analyzes documents according to its profile. It is immutable after
+// construction and safe for concurrent use: per-document noise derives from
+// a hash of the text, so the same document always produces the same
+// analysis (the behaviour that makes caching semantically sound).
+type Engine struct {
+	profile Profile
+	matcher *Matcher
+	stop    map[string]bool
+	weights map[string]float64
+}
+
+// NewEngine returns an engine with the given profile over the built-in
+// gazetteer and lexicons.
+func NewEngine(profile Profile) *Engine {
+	if profile.MaxKeywords <= 0 {
+		profile.MaxKeywords = 10
+	}
+	if profile.MaxConcepts <= 0 {
+		profile.MaxConcepts = 5
+	}
+	return &Engine{
+		profile: profile,
+		matcher: NewMatcher(lexicon.AllEntities()),
+		stop:    lexicon.StopwordSet(),
+		weights: lexicon.SentimentWeights(),
+	}
+}
+
+// Profile returns the engine's profile.
+func (e *Engine) Profile() Profile { return e.profile }
+
+// docRNG derives a deterministic noise source from the engine seed and the
+// document content.
+func (e *Engine) docRNG(text string) *xrand.Source {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(text))
+	return xrand.New(e.profile.Seed ^ int64(h.Sum64()))
+}
+
+// Analyze performs the full analysis of one document.
+func (e *Engine) Analyze(text string) Analysis {
+	tokens := Tokenize(text)
+	rng := e.docRNG(text)
+
+	mentions := e.matcher.Match(text, tokens)
+	// Profile-driven recall loss.
+	if e.profile.DropRate > 0 {
+		kept := mentions[:0]
+		for _, m := range mentions {
+			if !rng.Bernoulli(e.profile.DropRate) {
+				kept = append(kept, m)
+			}
+		}
+		mentions = kept
+	}
+	if e.profile.UseHeuristics {
+		mentions = append(mentions, HeuristicMentions(text, tokens, mentions, e.stop)...)
+	}
+	// Profile-driven false positives: fabricate a mention per sentence
+	// with some probability.
+	if e.profile.SpuriousRate > 0 {
+		for _, s := range Sentences(text) {
+			if rng.Bernoulli(e.profile.SpuriousRate) {
+				words := strings.Fields(s)
+				if len(words) == 0 {
+					continue
+				}
+				w := words[rng.Intn(len(words))]
+				w = strings.Trim(w, ".,!?;:'\"")
+				if len(w) < 3 {
+					continue
+				}
+				mentions = append(mentions, Mention{
+					EntityID: "unknown:" + strings.ToLower(w),
+					Surface:  w,
+					Kind:     "Unknown",
+				})
+			}
+		}
+	}
+	sortMentions(mentions)
+
+	sentiment := DocumentSentiment(tokens, e.weights)
+	if e.profile.SentimentNoise > 0 {
+		sentiment += rng.NormFloat64() * e.profile.SentimentNoise
+		if sentiment > 1 {
+			sentiment = 1
+		}
+		if sentiment < -1 {
+			sentiment = -1
+		}
+	}
+
+	return Analysis{
+		Engine:           e.profile.Name,
+		Entities:         mentions,
+		Keywords:         ExtractKeywords(tokens, e.stop, e.profile.MaxKeywords),
+		Sentiment:        sentiment,
+		EntitySentiments: EntitySentiments(tokens, mentions, e.weights),
+		Concepts:         ExtractConcepts(tokens, mentions, e.profile.MaxConcepts),
+		Relations:        ExtractRelations(text, tokens, mentions, nil),
+		Language:         "en",
+	}
+}
+
+func sortMentions(ms []Mention) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j].Start < ms[j-1].Start; j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}
+
+// Service wraps the engine as a service.Service understanding op "analyze"
+// (field Text carries the document). info supplies the metadata under which
+// the engine is registered.
+func (e *Engine) Service(info service.Info) service.Service {
+	return service.Func{
+		Meta: info,
+		Fn: func(_ context.Context, req service.Request) (service.Response, error) {
+			switch req.Op {
+			case "analyze", "":
+				if req.Text == "" {
+					return service.Response{}, fmt.Errorf("nlu: empty document: %w", service.ErrBadRequest)
+				}
+				return e.Analyze(req.Text).Encode()
+			default:
+				return service.Response{}, fmt.Errorf("nlu: unsupported op %q: %w", req.Op, service.ErrBadRequest)
+			}
+		},
+	}
+}

@@ -1,10 +1,8 @@
-package nlu
+package nluref
 
 import (
-	"sort"
 	"strings"
 
-	"repro/internal/intern"
 	"repro/internal/lexicon"
 )
 
@@ -16,30 +14,13 @@ type gazEntry struct {
 	kind      string
 }
 
-// idEntry is a surface form compiled to interned token IDs for the
-// engines' hot path: matching a multi-word surface is then a run of
-// uint32 comparisons with no string hashing.
-type idEntry struct {
-	ids       []uint32
-	exactCase string
-	entityID  string
-	kind      string
-}
-
 // Matcher performs gazetteer-based NER with longest-match-wins semantics.
 // Construct once with NewMatcher and share; it is immutable and safe for
 // concurrent use.
 type Matcher struct {
 	// byFirst maps the first (lower-cased) token of each surface form to
-	// its candidate entries, longest first. It backs the public Match.
+	// its candidate entries, longest first.
 	byFirst map[string][]gazEntry
-	// idByFirst is the same table keyed and compiled on token IDs, used
-	// by the engines' span-based matching.
-	idByFirst map[uint32][]idEntry
-	// extra interns surface tokens absent from the shared vocabulary
-	// (possible with custom entities); the document scan consults it so
-	// those tokens still resolve to matchable IDs.
-	extra *intern.Frozen[string]
 }
 
 // acronymMaxLen bounds surface forms that require an exact-case match:
@@ -48,19 +29,7 @@ const acronymMaxLen = 3
 
 // NewMatcher compiles the given gazetteer entities into a matcher.
 func NewMatcher(entities []lexicon.Entity) *Matcher {
-	v := vocab()
-	extra := intern.NewDict[string]()
-	nVocab := uint32(v.dict.Len())
-	resolve := func(w string) uint32 {
-		if id, ok := v.dict.Lookup(w); ok {
-			return id
-		}
-		return nVocab + extra.Intern(w)
-	}
-	m := &Matcher{
-		byFirst:   make(map[string][]gazEntry),
-		idByFirst: make(map[uint32][]idEntry),
-	}
+	m := &Matcher{byFirst: make(map[string][]gazEntry)}
 	for _, e := range entities {
 		for _, surface := range e.Surface() {
 			words := strings.Fields(surface)
@@ -72,84 +41,23 @@ func NewMatcher(entities []lexicon.Entity) *Matcher {
 				entityID: e.ID,
 				kind:     e.Kind.String(),
 			}
-			ids := make([]uint32, len(words))
 			for i, w := range words {
 				entry.tokens[i] = strings.ToLower(w)
-				ids[i] = resolve(entry.tokens[i])
 			}
 			if len(words) == 1 && len(words[0]) <= acronymMaxLen && words[0] == strings.ToUpper(words[0]) {
 				entry.exactCase = words[0]
 			}
-			m.byFirst[entry.tokens[0]] = append(m.byFirst[entry.tokens[0]], entry)
-			m.idByFirst[ids[0]] = append(m.idByFirst[ids[0]], idEntry{
-				ids:       ids,
-				exactCase: entry.exactCase,
-				entityID:  e.ID,
-				kind:      entry.kind,
-			})
+			first := entry.tokens[0]
+			m.byFirst[first] = append(m.byFirst[first], entry)
 		}
 	}
 	// Longest surface first so "United States of America" beats "United
-	// States". Both tables sort stably on the same key, keeping their
-	// entry orders — and therefore tie behavior — identical.
+	// States".
 	for first, entries := range m.byFirst {
 		sortByLenDesc(entries)
 		m.byFirst[first] = entries
 	}
-	for first, entries := range m.idByFirst {
-		sort.SliceStable(entries, func(i, j int) bool { return len(entries[i].ids) > len(entries[j].ids) })
-		m.idByFirst[first] = entries
-	}
-	m.extra = extra.Freeze()
 	return m
-}
-
-// matchDoc is Match on interned spans: same left-to-right scan, same
-// longest-match-wins, but each candidate comparison is integer equality.
-// Document tokens and entry tokens resolve through the same injective
-// vocabulary∪overflow mapping, so ID equality coincides exactly with
-// lower-cased string equality.
-func (m *Matcher) matchDoc(text string, d *doc) []Mention {
-	spans := d.spans
-	var out []Mention
-	for i := 0; i < len(spans); {
-		entries := m.idByFirst[spans[i].id]
-		matched := false
-		for _, e := range entries {
-			if i+len(e.ids) > len(spans) {
-				continue
-			}
-			if e.exactCase != "" && text[spans[i].start:spans[i].end] != e.exactCase {
-				continue
-			}
-			ok := true
-			for j, want := range e.ids {
-				if spans[i+j].id != want {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				continue
-			}
-			start := int(spans[i].start)
-			end := int(spans[i+len(e.ids)-1].end)
-			out = append(out, Mention{
-				EntityID: e.entityID,
-				Surface:  text[start:end],
-				Kind:     e.kind,
-				Start:    start,
-				End:      end,
-			})
-			i += len(e.ids)
-			matched = true
-			break
-		}
-		if !matched {
-			i++
-		}
-	}
-	return out
 }
 
 func sortByLenDesc(entries []gazEntry) {

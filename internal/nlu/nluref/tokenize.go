@@ -1,0 +1,99 @@
+// Package nluref is the frozen reference implementation of the NLU
+// substrate: a verbatim copy of internal/nlu as it stood before the
+// interned hot path landed (PR 7), kept as the equivalence oracle the
+// same way rdfref and searchref pin their optimized packages. The
+// randomized oracle tests in internal/nlu assert that the rebuilt
+// Engine.Analyze produces bit-identical Analysis values to this package
+// across every profile, and the benchmark guards use it as the
+// before-side baseline. Do not optimize or fix this package; its value
+// is that it does not change. (The one behavior the oracle does NOT pin
+// is multibyte tokenization, where nlu deliberately diverges to fix the
+// byte-oriented scanner; the oracle corpus is ASCII.)
+package nluref
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is one word-level token with its byte offsets in the source text.
+type Token struct {
+	// Text is the token as it appears in the source.
+	Text string
+	// Lower is the lower-cased form, precomputed for matching.
+	Lower string
+	// Start and End are byte offsets into the source ([Start, End)).
+	Start int
+	End   int
+	// SentenceStart marks the first token of a sentence.
+	SentenceStart bool
+}
+
+// Tokenize splits text into word tokens, recording offsets and sentence
+// boundaries. Tokens are maximal runs of letters, digits, and internal
+// apostrophes; everything else separates tokens.
+func Tokenize(text string) []Token {
+	var tokens []Token
+	sentenceStart := true
+	i := 0
+	n := len(text)
+	for i < n {
+		r := rune(text[i])
+		// ASCII fast path covers the corpus; fall back for multibyte.
+		if !isWordByte(text[i]) {
+			if r == '.' || r == '!' || r == '?' {
+				sentenceStart = true
+			}
+			i++
+			continue
+		}
+		start := i
+		for i < n && (isWordByte(text[i]) || (text[i] == '\'' && i+1 < n && isWordByte(text[i+1]))) {
+			i++
+		}
+		tok := text[start:i]
+		tokens = append(tokens, Token{
+			Text:          tok,
+			Lower:         strings.ToLower(tok),
+			Start:         start,
+			End:           i,
+			SentenceStart: sentenceStart,
+		})
+		sentenceStart = false
+	}
+	return tokens
+}
+
+func isWordByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' || b >= 0x80
+}
+
+// Sentences splits text into sentences on ., !, ? boundaries, trimming
+// whitespace and dropping empties.
+func Sentences(text string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		s := strings.TrimSpace(b.String())
+		if s != "" {
+			out = append(out, s)
+		}
+		b.Reset()
+	}
+	for _, r := range text {
+		b.WriteRune(r)
+		if r == '.' || r == '!' || r == '?' {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// IsCapitalized reports whether the token begins with an upper-case letter.
+func IsCapitalized(tok string) bool {
+	for _, r := range tok {
+		return unicode.IsUpper(r)
+	}
+	return false
+}

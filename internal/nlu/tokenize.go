@@ -6,11 +6,16 @@
 // entity disambiguation. Three differently tuned engine profiles stand in
 // for competing vendors so the SDK's ranking, aggregation, and comparison
 // features have real services to exercise.
+//
+// The analysis hot path works on interned token IDs against a process-wide
+// vocabulary (see vocab.go and doc.go); the frozen pre-interning
+// implementation lives in nluref and pins Engine.Analyze bit-for-bit.
 package nlu
 
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Token is one word-level token with its byte offsets in the source text.
@@ -31,41 +36,105 @@ type Token struct {
 // apostrophes; everything else separates tokens.
 func Tokenize(text string) []Token {
 	var tokens []Token
-	sentenceStart := true
-	i := 0
-	n := len(text)
-	for i < n {
-		r := rune(text[i])
-		// ASCII fast path covers the corpus; fall back for multibyte.
-		if !isWordByte(text[i]) {
-			if r == '.' || r == '!' || r == '?' {
-				sentenceStart = true
-			}
-			i++
-			continue
-		}
-		start := i
-		for i < n && (isWordByte(text[i]) || (text[i] == '\'' && i+1 < n && isWordByte(text[i+1]))) {
-			i++
-		}
-		tok := text[start:i]
+	scanWords(text, func(start, end int, sentenceStart bool) {
+		tok := text[start:end]
 		tokens = append(tokens, Token{
 			Text:          tok,
 			Lower:         strings.ToLower(tok),
 			Start:         start,
-			End:           i,
+			End:           end,
 			SentenceStart: sentenceStart,
 		})
-		sentenceStart = false
-	}
+	})
 	return tokens
 }
 
-func isWordByte(b byte) bool {
-	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' || b >= 0x80
+// scanWords is the tokenizer core shared by Tokenize and the engines'
+// pooled document scan: it walks text once and emits each token's byte
+// span plus whether it opens a sentence.
+//
+// ASCII is the fast path and keeps the historical rules exactly: letters
+// and digits are word bytes, '.', '!', '?' end sentences, and an
+// apostrophe is part of a token only when a word rune follows ("it's").
+// Bytes >= 0x80 are decoded as runes rather than blindly treated as word
+// bytes (the old behavior), so multibyte punctuation — em-dashes,
+// ellipses, curly quotes — separates tokens instead of gluing them
+// together: only unicode letters and digits extend a token, an ellipsis
+// rune ends a sentence, and U+2019 (the typographic apostrophe) behaves
+// like the ASCII apostrophe.
+func scanWords(text string, emit func(start, end int, sentenceStart bool)) {
+	sentenceStart := true
+	i := 0
+	n := len(text)
+	for i < n {
+		b := text[i]
+		if b < utf8.RuneSelf {
+			if !isWordByte(b) {
+				if b == '.' || b == '!' || b == '?' {
+					sentenceStart = true
+				}
+				i++
+				continue
+			}
+		} else {
+			r, size := utf8.DecodeRuneInString(text[i:])
+			if !isWordRune(r) {
+				if r == '…' {
+					sentenceStart = true
+				}
+				i += size
+				continue
+			}
+		}
+		start := i
+		for i < n {
+			b := text[i]
+			if b < utf8.RuneSelf {
+				if isWordByte(b) || (b == '\'' && isWordRuneAt(text, i+1)) {
+					i++
+					continue
+				}
+				break
+			}
+			r, size := utf8.DecodeRuneInString(text[i:])
+			if isWordRune(r) || (r == '’' && isWordRuneAt(text, i+size)) {
+				i += size
+				continue
+			}
+			break
+		}
+		emit(start, i, sentenceStart)
+		sentenceStart = false
+	}
 }
 
-// Sentences splits text into sentences on ., !, ? boundaries, trimming
+// isWordByte classifies ASCII word bytes only; multibyte sequences are
+// decoded and classified as runes by the scanner.
+func isWordByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
+}
+
+// isWordRune reports whether a non-ASCII rune extends a token.
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// isWordRuneAt reports whether a word rune starts at byte offset i,
+// deciding whether an apostrophe is internal ("it's") or trailing
+// ("runners' ").
+func isWordRuneAt(text string, i int) bool {
+	if i >= len(text) {
+		return false
+	}
+	b := text[i]
+	if b < utf8.RuneSelf {
+		return isWordByte(b)
+	}
+	r, _ := utf8.DecodeRuneInString(text[i:])
+	return isWordRune(r)
+}
+
+// Sentences splits text into sentences on ., !, ?, … boundaries, trimming
 // whitespace and dropping empties.
 func Sentences(text string) []string {
 	var out []string
@@ -79,7 +148,7 @@ func Sentences(text string) []string {
 	}
 	for _, r := range text {
 		b.WriteRune(r)
-		if r == '.' || r == '!' || r == '?' {
+		if r == '.' || r == '!' || r == '?' || r == '…' {
 			flush()
 		}
 	}

@@ -1,0 +1,35 @@
+package rdf
+
+// wildID marks an unbound position in internal ID patterns and an unbound
+// variable slot in solver rows. Dictionary IDs are assigned densely from
+// zero (intern.Dict's contract), so they can never collide with it.
+const wildID = ^uint32(0)
+
+// compareTerm orders terms by (Kind, Value) without building key strings;
+// it backs the sorted deterministic contract of Match/All/Query.
+func compareTerm(a, b Term) int {
+	if a.Kind != b.Kind {
+		if a.Kind < b.Kind {
+			return -1
+		}
+		return 1
+	}
+	if a.Value != b.Value {
+		if a.Value < b.Value {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// compareStatement orders statements by (S, P, O) term order.
+func compareStatement(a, b Statement) int {
+	if c := compareTerm(a.S, b.S); c != 0 {
+		return c
+	}
+	if c := compareTerm(a.P, b.P); c != 0 {
+		return c
+	}
+	return compareTerm(a.O, b.O)
+}

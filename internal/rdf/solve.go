@@ -68,8 +68,8 @@ func (g *Graph) compileBGP(patterns []Statement, intern bool) ([]cpat, []string)
 			default:
 				cp.kind[i] = cConst
 				if intern {
-					cp.id[i] = g.dict.intern(t)
-				} else if id, ok := g.dict.lookup(t); ok {
+					cp.id[i] = g.dict.Intern(t)
+				} else if id, ok := g.dict.Lookup(t); ok {
 					cp.id[i] = id
 				} else {
 					cp.dead = true
@@ -301,7 +301,7 @@ func (g *Graph) SolveRows(patterns []Statement) Solutions {
 	}
 	flat := make([]Term, len(flatIDs))
 	for i, id := range flatIDs {
-		flat[i] = g.dict.term(id)
+		flat[i] = g.dict.Value(id)
 	}
 	rows := make([][]Term, count)
 	for i := range rows {

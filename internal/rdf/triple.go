@@ -20,6 +20,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/intern"
 )
 
 // TermKind classifies RDF terms.
@@ -114,7 +116,7 @@ type triple = [3]uint32
 // cardinalities for bound constants.
 type Graph struct {
 	mu    sync.RWMutex
-	dict  *termDict
+	dict  *intern.Dict[Term]
 	stmts map[triple]struct{}
 	spo   map[uint32]map[uint32][]uint32
 	pos   map[uint32]map[uint32][]uint32
@@ -126,7 +128,7 @@ type Graph struct {
 // NewGraph returns an empty graph.
 func NewGraph() *Graph {
 	return &Graph{
-		dict:  newTermDict(),
+		dict:  intern.NewDict[Term](),
 		stmts: make(map[triple]struct{}),
 		spo:   make(map[uint32]map[uint32][]uint32),
 		pos:   make(map[uint32]map[uint32][]uint32),
@@ -145,7 +147,7 @@ func (g *Graph) Add(s Statement) (bool, error) {
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.addLocked(triple{g.dict.intern(s.S), g.dict.intern(s.P), g.dict.intern(s.O)}), nil
+	return g.addLocked(triple{g.dict.Intern(s.S), g.dict.Intern(s.P), g.dict.Intern(s.O)}), nil
 }
 
 // addLocked inserts an interned triple; caller holds the write lock.
@@ -180,7 +182,7 @@ func (g *Graph) AddAll(stmts []Statement) (int, error) {
 		if !s.Ground() {
 			return added, fmt.Errorf("rdf: cannot store non-ground statement %s", s)
 		}
-		if g.addLocked(triple{g.dict.intern(s.S), g.dict.intern(s.P), g.dict.intern(s.O)}) {
+		if g.addLocked(triple{g.dict.Intern(s.S), g.dict.Intern(s.P), g.dict.Intern(s.O)}) {
 			added++
 		}
 	}
@@ -260,15 +262,15 @@ func (g *Graph) Match(pattern Statement) []Statement {
 // lookupTriple interns nothing: a miss on any position means the
 // statement cannot be stored. Caller holds a lock.
 func (g *Graph) lookupTriple(s Statement) (triple, bool) {
-	si, ok := g.dict.lookup(s.S)
+	si, ok := g.dict.Lookup(s.S)
 	if !ok {
 		return triple{}, false
 	}
-	pi, ok := g.dict.lookup(s.P)
+	pi, ok := g.dict.Lookup(s.P)
 	if !ok {
 		return triple{}, false
 	}
-	oi, ok := g.dict.lookup(s.O)
+	oi, ok := g.dict.Lookup(s.O)
 	if !ok {
 		return triple{}, false
 	}
@@ -284,7 +286,7 @@ func (g *Graph) compileMatch(pattern Statement) (triple, bool) {
 		if !bound(t) {
 			continue
 		}
-		id, ok := g.dict.lookup(t)
+		id, ok := g.dict.Lookup(t)
 		if !ok {
 			return want, false
 		}
@@ -295,7 +297,7 @@ func (g *Graph) compileMatch(pattern Statement) (triple, bool) {
 
 // statement materializes an interned triple. Caller holds a lock.
 func (g *Graph) statement(t triple) Statement {
-	return Statement{S: g.dict.term(t[0]), P: g.dict.term(t[1]), O: g.dict.term(t[2])}
+	return Statement{S: g.dict.Value(t[0]), P: g.dict.Value(t[1]), O: g.dict.Value(t[2])}
 }
 
 // forEach calls fn for every stored triple matching the ID pattern

@@ -7,7 +7,8 @@
 // their results.
 //
 // The index is dictionary-coded: terms are interned to dense uint32 IDs
-// (internal/rdf/dict.go's design) and postings are compact per-term
+// (through the shared internal/intern symbol table, frozen once the
+// build finishes) and postings are compact per-term
 // slices of {docID, packed tf/tit} sorted by document, carved into
 // fixed-size blocks carrying score upper-bound metadata (max body/title
 // frequency, min document length). Queries run through a block-max
@@ -21,6 +22,7 @@ package search
 import (
 	"sort"
 
+	"repro/internal/intern"
 	"repro/internal/lexicon"
 	"repro/internal/nlu"
 	"repro/internal/webcorpus"
@@ -78,8 +80,11 @@ type termPostings struct {
 // Index is an immutable inverted index over a corpus. Build once, search
 // concurrently.
 type Index struct {
-	docs   []webcorpus.Document
-	dict   *termDict
+	docs []webcorpus.Document
+	// dict is the index's symbol table, frozen when BuildIndex returns
+	// (the index is immutable, so concurrent searches share it with no
+	// synchronization — intern.Frozen's contract).
+	dict   *intern.Frozen[string]
 	terms  []termPostings // indexed by term ID
 	docLen []uint32
 	avgLen float64
@@ -118,9 +123,9 @@ func BuildIndex(c *webcorpus.Corpus, opts ...IndexOption) *Index {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	dict := intern.NewDict[string]()
 	idx := &Index{
 		docs:   c.Docs,
-		dict:   newTermDict(),
 		docLen: make([]uint32, len(c.Docs)),
 		stop:   lexicon.StopwordSet(),
 		news:   make([]uint64, (len(c.Docs)+63)/64),
@@ -149,12 +154,12 @@ func BuildIndex(c *webcorpus.Corpus, opts ...IndexOption) *Index {
 		clear(tfs)
 		clear(tits)
 		for _, t := range bodyToks {
-			tfs[idx.dict.intern(t)]++
+			tfs[dict.Intern(t)]++
 		}
 		for _, t := range titleToks {
-			tits[idx.dict.intern(t)]++
+			tits[dict.Intern(t)]++
 		}
-		if n := idx.dict.len(); n > len(idx.terms) {
+		if n := dict.Len(); n > len(idx.terms) {
 			idx.terms = append(idx.terms, make([]termPostings, n-len(idx.terms))...)
 		}
 		// Documents are indexed in increasing order, so each append keeps
@@ -176,6 +181,7 @@ func BuildIndex(c *webcorpus.Corpus, opts ...IndexOption) *Index {
 	for tid := range idx.terms {
 		idx.buildBlocks(&idx.terms[tid])
 	}
+	idx.dict = dict.Freeze()
 	if cfg.expansion {
 		idx.expander = lexicon.NewExpander().WithCooccurrence(pmi.Build())
 	}
@@ -373,7 +379,7 @@ func (idx *Index) queryTerms(query string) []qterm {
 			continue
 		}
 		prev = t
-		if id, ok := idx.dict.lookup(t); ok {
+		if id, ok := idx.dict.Lookup(t); ok {
 			out = append(out, qterm{id: id, weight: 1})
 		}
 	}
@@ -398,7 +404,7 @@ func (idx *Index) expandQuery(qterms []qterm, p Params, opts Options, stats *Sta
 	}
 	best := make(map[string]float64)
 	for _, q := range qterms {
-		for _, ex := range idx.expander.Expand(idx.dict.terms[q.id], maxTerms) {
+		for _, ex := range idx.expander.Expand(idx.dict.Value(q.id), maxTerms) {
 			if ex.Weight > best[ex.Term] {
 				best[ex.Term] = ex.Weight
 			}
@@ -419,7 +425,7 @@ func (idx *Index) expandQuery(qterms []qterm, p Params, opts Options, stats *Sta
 		if added >= maxTerms {
 			break
 		}
-		id, ok := idx.dict.lookup(c.Term)
+		id, ok := idx.dict.Lookup(c.Term)
 		if !ok || present[id] {
 			continue
 		}

@@ -1,0 +1,187 @@
+package xrand
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// fastSource is a drop-in replacement for math/rand's additive-lagged-
+// Fibonacci source (rand.NewSource) that produces the bit-identical
+// output stream but seeds several times faster. Seeding dominates when a
+// generator is rewound per work item (one Reseed per document on the NLU
+// hot path): math/rand fills its 607-word state with 1841 serially
+// dependent Lehmer steps, each paying a divide-based Schrage reduction.
+// Here the reduction is a Mersenne fold (the modulus is 2^31-1, so
+// t mod m folds to (t>>31)+(t&m)) and the state fill runs as three
+// independent chains stepping by 48271^3, which the CPU can pipeline
+// where the single chain cannot.
+//
+// The generator state after seeding must match math/rand's exactly:
+// vec[i] = u_i(seed) XOR cooked[i], where u_i is a pure function of the
+// seed and cooked is math/rand's unexported rngCooked table. The table
+// is recovered at init time from an actual rand.NewSource — see
+// recoverCooked — so no generated constants are duplicated here and any
+// upstream change to the table would surface immediately in the
+// equivalence tests rather than silently diverge.
+const (
+	lfsrLen  = 607
+	lfsrTap  = 273
+	mersenne = 1<<31 - 1 // modulus of the Lehmer seeding generator
+)
+
+// lehmerStep computes 48271*x mod 2^31-1 for x in [1, 2^31-2], the exact
+// function of math/rand's seedrand, using a Mersenne fold instead of
+// Schrage's decomposition. 48271*x < 2^47, so one fold brings the value
+// under 2^31+2^16 and a single conditional subtract canonicalizes it.
+func lehmerStep(x uint32) uint32 {
+	t := uint64(x) * 48271
+	t = (t >> 31) + (t & mersenne)
+	if t >= mersenne {
+		t -= mersenne
+	}
+	return uint32(t)
+}
+
+// mulmod31 returns a*b mod 2^31-1 for a, b < 2^31. The product can reach
+// 2^62, so it takes two folds.
+func mulmod31(a, b uint32) uint32 {
+	t := uint64(a) * uint64(b)
+	t = (t >> 31) + (t & mersenne)
+	t = (t >> 31) + (t & mersenne)
+	if t >= mersenne {
+		t -= mersenne
+	}
+	return uint32(t)
+}
+
+// lehmerStep3 and lehmerStep6 are 48271^3 and 48271^6 mod 2^31-1: the
+// per-chain multipliers that let six interleaved chains cover the
+// sequence x1,x2,x3,... two vec entries (six values) per round, each
+// chain advancing independently so the multiplies pipeline.
+var (
+	lehmerStep3 = mulmod31(mulmod31(48271, 48271), 48271)
+	lehmerStep6 = mulmod31(lehmerStep3, lehmerStep3)
+)
+
+// seedInit normalizes the seed exactly as math/rand does and runs the 20
+// warm-up Lehmer steps, returning the state from which vec is filled.
+func seedInit(seed int64) uint32 {
+	seed %= mersenne
+	if seed < 0 {
+		seed += mersenne
+	}
+	if seed == 0 {
+		seed = 89482311
+	}
+	x := uint32(seed)
+	for i := 0; i < 20; i++ {
+		x = lehmerStep(x)
+	}
+	return x
+}
+
+var (
+	cookedOnce sync.Once
+	cooked     [lfsrLen]uint64
+)
+
+// recoverCooked reconstructs math/rand's unexported rngCooked seeding
+// table from the observable output stream of a genuinely seeded source.
+// The additive generator writes each of its 607 slots exactly once per
+// 607 outputs, and every output is vec[feed] + vec[tap] where the tap
+// operand is either still the initial value or a previous output:
+//
+//	step k (1-based): feed_k = (334-k) mod 607, tap_k = 607-k
+//	k in [1, 273]:    out_k = V0[334-k] + V0[607-k]   (both initial)
+//	k in [274, 607]:  out_k = V0[feed_k] + out_{k-273}
+//
+// The second band solves directly for the initial slots [0,60] and
+// [334,606]; substituting the recovered [334,606] back into the first
+// band yields [61,333]. XORing the full initial state V0 with the known
+// pure-seed component u_i(seed) isolates the table.
+func recoverCooked() {
+	src := rand.NewSource(1).(rand.Source64)
+	var out [lfsrLen + 1]uint64
+	for k := 1; k <= lfsrLen; k++ {
+		out[k] = src.Uint64()
+	}
+	const feed0 = lfsrLen - lfsrTap // 334
+	var v0 [lfsrLen]uint64
+	for k := lfsrTap + 1; k <= lfsrLen; k++ {
+		v0[(feed0-k+2*lfsrLen)%lfsrLen] = out[k] - out[k-lfsrTap]
+	}
+	for k := 1; k <= lfsrTap; k++ {
+		v0[feed0-k] = out[k] - v0[lfsrLen-k]
+	}
+	x := seedInit(1)
+	for i := 0; i < lfsrLen; i++ {
+		x = lehmerStep(x)
+		u := uint64(x) << 40
+		x = lehmerStep(x)
+		u ^= uint64(x) << 20
+		x = lehmerStep(x)
+		u ^= uint64(x)
+		cooked[i] = v0[i] ^ u
+	}
+}
+
+type fastSource struct {
+	vec  [lfsrLen]uint64
+	tap  int
+	feed int
+}
+
+func newFastSource(seed int64) *fastSource {
+	s := &fastSource{}
+	s.Seed(seed)
+	return s
+}
+
+// Seed initializes the generator to the exact state rand.NewSource(seed)
+// produces.
+func (s *fastSource) Seed(seed int64) {
+	cookedOnce.Do(recoverCooked)
+	s.tap = 0
+	s.feed = lfsrLen - lfsrTap
+	x := seedInit(seed)
+	a := lehmerStep(x)
+	b := lehmerStep(a)
+	c := lehmerStep(b)
+	d := mulmod31(lehmerStep3, a)
+	e := mulmod31(lehmerStep3, b)
+	f := mulmod31(lehmerStep3, c)
+	i := 0
+	for ; i+1 < lfsrLen; i += 2 {
+		s.vec[i] = uint64(a)<<40 ^ uint64(b)<<20 ^ uint64(c) ^ cooked[i]
+		s.vec[i+1] = uint64(d)<<40 ^ uint64(e)<<20 ^ uint64(f) ^ cooked[i+1]
+		a = mulmod31(lehmerStep6, a)
+		b = mulmod31(lehmerStep6, b)
+		c = mulmod31(lehmerStep6, c)
+		d = mulmod31(lehmerStep6, d)
+		e = mulmod31(lehmerStep6, e)
+		f = mulmod31(lehmerStep6, f)
+	}
+	// lfsrLen is odd: the last entry comes from the first chain triple.
+	s.vec[i] = uint64(a)<<40 ^ uint64(b)<<20 ^ uint64(c) ^ cooked[i]
+}
+
+// Uint64 advances the additive generator one step, mirroring
+// rngSource.Uint64 (uint64 addition wraps identically to int64).
+func (s *fastSource) Uint64() uint64 {
+	s.tap--
+	if s.tap < 0 {
+		s.tap += lfsrLen
+	}
+	s.feed--
+	if s.feed < 0 {
+		s.feed += lfsrLen
+	}
+	x := s.vec[s.feed] + s.vec[s.tap]
+	s.vec[s.feed] = x
+	return x
+}
+
+// Int63 returns the low 63 bits, mirroring rngSource.Int63.
+func (s *fastSource) Int63() int64 {
+	return int64(s.Uint64() &^ (1 << 63))
+}

@@ -1,0 +1,85 @@
+package xrand
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+var equivalenceSeeds = []int64{
+	0, 1, -1, 2, 42, 19, 89482311,
+	mersenne - 1, mersenne, mersenne + 1, -mersenne,
+	math.MaxInt64, math.MinInt64, math.MinInt64 + 1,
+	1<<40 + 12345, -(1<<40 + 12345),
+}
+
+// TestFastSourceMatchesMathRand locks the reimplementation to math/rand
+// bit for bit: raw Uint64/Int63 streams, a mid-stream reseed, and the
+// derived rand.Rand distributions must all agree exactly.
+func TestFastSourceMatchesMathRand(t *testing.T) {
+	for _, seed := range equivalenceSeeds {
+		ref := rand.NewSource(seed).(rand.Source64)
+		got := newFastSource(seed)
+		for i := 0; i < 2000; i++ {
+			if g, w := got.Uint64(), ref.Uint64(); g != w {
+				t.Fatalf("seed %d: Uint64 #%d = %d, want %d", seed, i, g, w)
+			}
+		}
+		for i := 0; i < 100; i++ {
+			if g, w := got.Int63(), ref.Int63(); g != w {
+				t.Fatalf("seed %d: Int63 #%d = %d, want %d", seed, i, g, w)
+			}
+		}
+		// Reseed mid-stream: both must rewind to the same state.
+		ref.Seed(seed + 7)
+		got.Seed(seed + 7)
+		for i := 0; i < 700; i++ {
+			if g, w := got.Uint64(), ref.Uint64(); g != w {
+				t.Fatalf("seed %d: post-reseed Uint64 #%d = %d, want %d", seed, i, g, w)
+			}
+		}
+	}
+}
+
+func TestFastSourceMatchesRandDistributions(t *testing.T) {
+	for _, seed := range equivalenceSeeds {
+		ref := rand.New(rand.NewSource(seed))
+		got := rand.New(newFastSource(seed))
+		for i := 0; i < 300; i++ {
+			if g, w := got.Float64(), ref.Float64(); g != w {
+				t.Fatalf("seed %d: Float64 #%d = %v, want %v", seed, i, g, w)
+			}
+			if g, w := got.NormFloat64(), ref.NormFloat64(); g != w {
+				t.Fatalf("seed %d: NormFloat64 #%d = %v, want %v", seed, i, g, w)
+			}
+			if g, w := got.ExpFloat64(), ref.ExpFloat64(); g != w {
+				t.Fatalf("seed %d: ExpFloat64 #%d = %v, want %v", seed, i, g, w)
+			}
+			if g, w := got.Intn(i+1), ref.Intn(i+1); g != w {
+				t.Fatalf("seed %d: Intn(%d) = %d, want %d", seed, i+1, g, w)
+			}
+		}
+		gp, wp := got.Perm(50), ref.Perm(50)
+		for i := range gp {
+			if gp[i] != wp[i] {
+				t.Fatalf("seed %d: Perm[%d] = %d, want %d", seed, i, gp[i], wp[i])
+			}
+		}
+	}
+}
+
+func BenchmarkSeedFast(b *testing.B) {
+	s := newFastSource(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Seed(int64(i))
+	}
+}
+
+func BenchmarkSeedMathRand(b *testing.B) {
+	s := rand.NewSource(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Seed(int64(i))
+	}
+}
