@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check cover bench bench-rdf bench-search bench-nlu fmt fmt-check
+.PHONY: build test vet race check cover bench bench-rdf bench-search bench-nlu bench-metrics fmt fmt-check
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,7 @@ check: fmt-check vet race
 cover:
 	$(GO) test -cover ./...
 
-# bench runs the experiment benchmarks (E1–E18, A1–A4) from bench_test.go
+# bench runs the experiment benchmarks (E1–E20, A1–A4) from bench_test.go
 # plus the cache micro-benchmarks (BenchmarkCacheHitParallel compares the
 # single-mutex and sharded stores at 1/8/64-goroutine parallelism).
 # Narrow with BENCH, e.g. `make bench BENCH=BenchmarkE1Caching` or
@@ -61,6 +61,14 @@ bench-search:
 # BenchmarkSeedMathRand in internal/xrand).
 bench-nlu:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem ./internal/nlu ./internal/xrand
+
+# bench-metrics runs the instrument-layer benchmarks: counter/gauge
+# increments and the lock-free log-linear histogram's Observe/Snapshot
+# (uncontended and GOMAXPROCS-parallel), plus the exposition path — label
+# escaping with hoisted vs per-call replacers (BenchmarkEscapeLabel) and
+# full Set rendering into the Prometheus text format (BenchmarkSetExpose).
+bench-metrics:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem ./internal/metrics
 
 fmt:
 	gofmt -w .

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lexicon"
+	"repro/internal/metrics"
 	"repro/internal/nlu"
 	"repro/internal/search"
 	"repro/internal/service"
@@ -87,7 +88,10 @@ func run() error {
 		return err
 	}
 	defer client.Close()
-	if err := registerBuiltins(client, *corpusDocs, *seed); err != nil {
+	// One shared instrument set carries the substrate metrics (search,
+	// NLU, intern dictionaries) onto /metrics.
+	instruments := metrics.NewSet()
+	if err := registerBuiltins(client, instruments, *corpusDocs, *seed); err != nil {
 		return err
 	}
 
@@ -110,7 +114,7 @@ func run() error {
 	)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           accessLog(logger, tracer, core.NewAPI(client)),
+		Handler:           accessLog(logger, tracer, core.NewAPI(client, core.WithInstruments(instruments))),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	return srv.ListenAndServe()
@@ -175,8 +179,9 @@ func accessLog(logger *slog.Logger, tracer *trace.Tracer, next http.Handler) htt
 }
 
 // registerBuiltins wires the simulated cognitive services into the SDK with
-// realistic latency, cost, and quality profiles.
-func registerBuiltins(client *core.Client, corpusDocs int, seed int64) error {
+// realistic latency, cost, and quality profiles, instrumenting the search
+// and NLU substrates into set.
+func registerBuiltins(client *core.Client, set *metrics.Set, corpusDocs int, seed int64) error {
 	// Three NLU vendors with different latency/cost/quality trade-offs.
 	nluProfiles := []struct {
 		profile nlu.Profile
@@ -187,6 +192,7 @@ func registerBuiltins(client *core.Client, corpusDocs int, seed int64) error {
 		{nlu.ProfileBeta, simsvc.Lognormal{Median: 40 * time.Millisecond, Sigma: 0.3}, 0.002},
 		{nlu.ProfileGamma, simsvc.Lognormal{Median: 15 * time.Millisecond, Sigma: 0.4}, 0.0005},
 	}
+	nlu.Instrument(set)
 	for i, p := range nluProfiles {
 		engine := nlu.NewEngine(p.profile)
 		info := service.Info{Name: p.profile.Name, Category: "nlu", CostPerCall: p.cost}
@@ -205,7 +211,7 @@ func registerBuiltins(client *core.Client, corpusDocs int, seed int64) error {
 	// built with expansion tables so clients can pass expand=true; the
 	// engines' tunings differ in how aggressively they use them.
 	corpus := webcorpus.Generate(webcorpus.Config{Seed: seed, NumDocs: corpusDocs})
-	index := search.BuildIndex(corpus, search.WithExpansion(lexicon.PMIConfig{}))
+	index := search.BuildIndex(corpus, search.WithExpansion(lexicon.PMIConfig{}), search.WithMetrics(set))
 	searchEngines := []struct {
 		name   string
 		params search.Params

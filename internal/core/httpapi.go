@@ -36,6 +36,7 @@ type API struct {
 	client *Client
 	mux    *http.ServeMux
 	extra  []extraMetrics
+	sets   []*metrics.Set
 }
 
 // extraMetrics is an additional monitor registry rendered on /metrics, for
@@ -57,6 +58,18 @@ func WithExtraMetrics(prefix, label string, reg *metrics.Registry) APIOption {
 	return func(a *API) {
 		if reg != nil {
 			a.extra = append(a.extra, extraMetrics{prefix: prefix, label: label, reg: reg})
+		}
+	}
+}
+
+// WithInstruments renders every family registered in set — the substrate
+// counters, gauges, and histograms from search, rdf, nlu, intern, and
+// pipeline instrumentation — on /metrics alongside the client's own
+// families. May be given multiple times; nil sets are ignored.
+func WithInstruments(set *metrics.Set) APIOption {
+	return func(a *API) {
+		if set != nil {
+			a.sets = append(a.sets, set)
 		}
 	}
 }
@@ -288,6 +301,9 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metrics.WriteSnapshots(tw, "richsdk_service", "service", a.client.Stats())
 	for _, ex := range a.extra {
 		metrics.WriteSnapshots(tw, ex.prefix, ex.label, ex.reg.Snapshots())
+	}
+	for _, set := range a.sets {
+		set.Expose(tw)
 	}
 
 	cs := a.client.CacheStats()

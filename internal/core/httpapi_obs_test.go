@@ -6,8 +6,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/service"
@@ -134,6 +136,145 @@ func TestAPIMetricsPrometheusText(t *testing.T) {
 			t.Errorf("/metrics missing %q\n---\n%s", want, body)
 		}
 	}
+}
+
+// TestAPIMetricsHistogramFamilies validates true histogram exposition
+// end-to-end: a Set attached via WithInstruments renders on /metrics with
+// well-formed sample lines, TYPE headers covering the _bucket/_sum/_count
+// suffixes, monotone non-decreasing cumulative buckets per labelset, a
+// +Inf bucket exactly equal to _count, and correct escaping of label
+// values containing quotes, backslashes, and newlines.
+func TestAPIMetricsHistogramFamilies(t *testing.T) {
+	set := metrics.NewSet()
+	awkward := metrics.Label{Name: "source", Value: "a\\b\"c\nd"}
+	hist := set.Histogram("richsdk_test_latency_seconds", "Test latency family.", awkward)
+	for _, ms := range []int{1, 3, 3, 10, 40, 200, 1500} {
+		hist.Observe(time.Duration(ms) * time.Millisecond)
+	}
+	// A second labelset in the same family: buckets must group per labelset.
+	other := set.Histogram("richsdk_test_latency_seconds", "Test latency family.",
+		metrics.Label{Name: "source", Value: "plain"})
+	other.Observe(5 * time.Millisecond)
+	set.Counter("richsdk_test_events_total", "Test counter family.").Add(7)
+
+	srv, _, _ := newObsAPIServer(t, WithInstruments(set))
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	// Strict line-level lint, now aware of the _bucket suffix.
+	typed := map[string]string{}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			typed[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base = strings.TrimSuffix(base, suffix)
+		}
+		if _, ok := typed[name]; !ok {
+			if _, ok := typed[base]; !ok {
+				t.Errorf("sample %q lacks a TYPE header", name)
+			}
+		}
+	}
+	if got := typed["richsdk_test_latency_seconds"]; got != "histogram" {
+		t.Errorf("TYPE richsdk_test_latency_seconds = %q, want histogram", got)
+	}
+
+	// Escaped label value appears verbatim; the raw control characters
+	// never do (a raw newline would have broken promLine above anyway).
+	if !strings.Contains(body, `source="a\\b\"c\nd"`) {
+		t.Errorf("escaped label value missing from body")
+	}
+
+	// Reconstruct each labelset's bucket ladder and check cumulativity.
+	type ladder struct {
+		counts []float64
+		infVal float64
+		hasInf bool
+	}
+	ladders := map[string]*ladder{}
+	counts := map[string]float64{}
+	leRe := regexp.MustCompile(`^richsdk_test_latency_seconds_bucket\{(.*)le="([^"]*|\+Inf)"\} (\S+)$`)
+	countRe := regexp.MustCompile(`^richsdk_test_latency_seconds_count(?:\{(.*)\})? (\S+)$`)
+	for _, line := range strings.Split(body, "\n") {
+		if m := leRe.FindStringSubmatch(line); m != nil {
+			key := strings.TrimSuffix(m[1], ",")
+			l := ladders[key]
+			if l == nil {
+				l = &ladder{}
+				ladders[key] = l
+			}
+			v := parseProm(t, m[3])
+			if m[2] == "+Inf" {
+				l.infVal = v
+				l.hasInf = true
+			} else {
+				l.counts = append(l.counts, v)
+			}
+			continue
+		}
+		if m := countRe.FindStringSubmatch(line); m != nil {
+			counts[m[1]] = parseProm(t, m[2])
+		}
+	}
+	if len(ladders) != 2 {
+		t.Fatalf("found %d bucket labelsets, want 2 (keys: %v)", len(ladders), ladders)
+	}
+	for key, l := range ladders {
+		if !l.hasInf {
+			t.Fatalf("labelset %q has no +Inf bucket", key)
+		}
+		if len(l.counts) == 0 {
+			t.Fatalf("labelset %q has no finite buckets", key)
+		}
+		for i := 1; i < len(l.counts); i++ {
+			if l.counts[i] < l.counts[i-1] {
+				t.Errorf("labelset %q: bucket %d decreases: %v -> %v", key, i, l.counts[i-1], l.counts[i])
+			}
+		}
+		if last := l.counts[len(l.counts)-1]; l.infVal < last {
+			t.Errorf("labelset %q: +Inf %v < last finite bucket %v", key, l.infVal, last)
+		}
+		count, ok := counts[key]
+		if !ok {
+			t.Fatalf("labelset %q has buckets but no _count (have %v)", key, counts)
+		}
+		if l.infVal != count {
+			t.Errorf("labelset %q: +Inf bucket %v != _count %v", key, l.infVal, count)
+		}
+	}
+	// Sanity: the awkward labelset observed 7 events.
+	awkwardKey := `source="a\\b\"c\nd"`
+	if counts[awkwardKey] != 7 {
+		t.Errorf("_count for awkward labelset = %v, want 7 (keys: %v)", counts[awkwardKey], counts)
+	}
+}
+
+func parseProm(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("unparseable sample value %q: %v", s, err)
+	}
+	return v
 }
 
 func TestAPITracesEndpoints(t *testing.T) {

@@ -469,8 +469,8 @@ func TestE17InferenceScalingShape(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	entries := All()
-	if len(entries) != 23 {
-		t.Errorf("registry has %d entries, want 23 (E1-E19 + A1-A4)", len(entries))
+	if len(entries) != 24 {
+		t.Errorf("registry has %d entries, want 24 (E1-E20 + A1-A4)", len(entries))
 	}
 	seen := map[string]bool{}
 	for _, e := range entries {
@@ -534,5 +534,35 @@ func TestE18SearchScalingShape(t *testing.T) {
 	if pruned[last].Speedup < 1 {
 		t.Logf("warning: pruned engine slower than baseline at docs=%d (speedup %.2f)",
 			pruned[last].Docs, pruned[last].Speedup)
+	}
+}
+
+func TestE20InstrumentCostShape(t *testing.T) {
+	rows, table, err := RunE20(Scale(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRenders(t, table)
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6 (3 instruments x 2 modes)", len(rows))
+	}
+	modes := map[string]int{}
+	for _, r := range rows {
+		modes[r.Mode]++
+		if r.Ops == 0 {
+			t.Errorf("%s/%s ran zero ops", r.Instrument, r.Mode)
+		}
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s/%s ns_per_op = %v", r.Instrument, r.Mode, r.NsPerOp)
+		}
+		// The whole point: instruments never allocate on the hot path.
+		// Background goroutines can smear ReadMemStats deltas slightly,
+		// so allow a tiny epsilon rather than demanding exactly zero.
+		if r.AllocsPerOp > 0.01 {
+			t.Errorf("%s/%s allocs_per_op = %v, want ~0", r.Instrument, r.Mode, r.AllocsPerOp)
+		}
+	}
+	if modes["uncontended"] != 3 || modes["contended"] != 3 {
+		t.Errorf("mode coverage = %v, want 3 each", modes)
 	}
 }

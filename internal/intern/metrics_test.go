@@ -1,0 +1,39 @@
+package intern
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestWatchLenTracksDictionary(t *testing.T) {
+	d := NewDict[string]()
+	d.Intern("a")
+	d.Intern("b")
+	set := metrics.NewSet()
+	g := set.Gauge("dict_size", "test gauge")
+	// Attaching seeds the gauge with the current size.
+	d.WatchLen(g)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge after WatchLen = %d, want 2", got)
+	}
+	d.Intern("c")
+	d.Intern("a") // duplicate: no growth
+	if got := g.Value(); got != 3 {
+		t.Errorf("gauge after interning = %d, want 3", got)
+	}
+	d.Reset()
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge after Reset = %d, want 0", got)
+	}
+	d.Intern("x")
+	if got := g.Value(); got != 1 {
+		t.Errorf("gauge after post-Reset intern = %d, want 1", got)
+	}
+	// Detach: further growth leaves the gauge alone.
+	d.WatchLen(nil)
+	d.Intern("y")
+	if got := g.Value(); got != 1 {
+		t.Errorf("detached gauge moved to %d, want 1", got)
+	}
+}

@@ -35,7 +35,7 @@ func (t *TextWriter) printf(format string, args ...any) {
 }
 
 // Family emits the HELP and TYPE header for a metric family. typ must be
-// one of "counter", "gauge", "summary", or "untyped".
+// one of "counter", "gauge", "summary", "histogram", or "untyped".
 func (t *TextWriter) Family(name, help, typ string) {
 	t.printf("# HELP %s %s\n", name, escapeHelp(help))
 	t.printf("# TYPE %s %s\n", name, typ)
@@ -83,15 +83,19 @@ func formatValue(v float64) string {
 	return fmt.Sprintf("%g", v)
 }
 
-func escapeHelp(s string) string {
-	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
-	return r.Replace(s)
-}
+// The escape replacers are package-level: strings.NewReplacer builds its
+// lookup machinery lazily but the Replacer value itself is a per-call
+// allocation when constructed inline, and /metrics renders hundreds of
+// escaped strings per scrape. A shared Replacer is safe for concurrent
+// use.
+var (
+	helpReplacer  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	labelReplacer = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+)
 
-func escapeLabel(s string) string {
-	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
-	return r.Replace(s)
-}
+func escapeHelp(s string) string { return helpReplacer.Replace(s) }
+
+func escapeLabel(s string) string { return labelReplacer.Replace(s) }
 
 // WriteSnapshots renders per-service monitor snapshots as a set of metric
 // families named <prefix>_*, one sample per snapshot labelled
@@ -138,3 +142,40 @@ func WriteSnapshots(t *TextWriter, prefix, label string, snaps []Snapshot) {
 }
 
 func seconds(d time.Duration) float64 { return d.Seconds() }
+
+// expoMinExp is the smallest power-of-two boundary rendered as an `le`
+// bucket on the exposition page: 2^10−1 ns ≈ 1µs. Everything faster
+// accumulates into that first cumulative bucket; the in-memory histogram
+// keeps full sub-microsecond resolution regardless — the ladder only
+// throttles how many lines a scrape carries.
+const expoMinExp = 10
+
+// WriteHistogram renders one histogram sample set in true Prometheus
+// histogram exposition format: cumulative `le` buckets at every power of
+// two from ~1µs to ~73min (le in seconds), a `+Inf` bucket equal to
+// `_count`, and the `_sum`/`_count` pair. The `le` label is appended
+// after the caller's labels.
+func WriteHistogram(t *TextWriter, name string, s HistSnapshot, labels ...Label) {
+	if len(s.Buckets) < histNumBuckets {
+		b := make([]uint64, histNumBuckets)
+		copy(b, s.Buckets)
+		s.Buckets = b
+	}
+	bucket := name + "_bucket"
+	lbls := make([]Label, len(labels)+1)
+	copy(lbls, labels)
+	var cum uint64
+	next := 0
+	for e := expoMinExp; e <= histMaxExp; e++ {
+		end := (e - histSubBits + 1) << histSubBits // first bucket past upper 2^e−1
+		for ; next < end; next++ {
+			cum += s.Buckets[next]
+		}
+		lbls[len(labels)] = Label{"le", formatValue(float64(int64(1)<<e-1) / 1e9)}
+		t.Metric(bucket, float64(cum), lbls...)
+	}
+	lbls[len(labels)] = Label{"le", "+Inf"}
+	t.Metric(bucket, float64(s.Count), lbls...)
+	t.Metric(name+"_sum", seconds(s.Sum), labels...)
+	t.Metric(name+"_count", float64(s.Count), labels...)
+}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewCounter()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := NewGauge()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(int64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		d := 123 * time.Microsecond
+		for pb.Next() {
+			h.Observe(d)
+		}
+	})
+}
+
+func BenchmarkHistogramSnapshot(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < 100000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := h.Snapshot()
+		if s.Count == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// oldEscapeLabel is the pre-hoist implementation kept for comparison: it
+// built a strings.Replacer on every call.
+func oldEscapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func BenchmarkEscapeLabel(b *testing.B) {
+	in := `a "quoted" value with \backslashes\ and` + "\nnewlines"
+	b.Run("hoisted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			escapeLabel(in)
+		}
+	})
+	b.Run("per-call", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			oldEscapeLabel(in)
+		}
+	})
+	b.Run("hoisted-clean", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			escapeLabel("no-escaping-needed")
+		}
+	})
+}
+
+func BenchmarkSetExpose(b *testing.B) {
+	s := NewSet()
+	for _, shard := range []string{"a", "b", "c", "d"} {
+		s.Counter("richsdk_bench_hits_total", "Hits.", Label{"shard", shard}).Add(7)
+		s.Gauge("richsdk_bench_depth", "Depth.", Label{"shard", shard}).Set(3)
+		h := s.Histogram("richsdk_bench_lat_seconds", "Latency.", Label{"shard", shard})
+		for i := 0; i < 1000; i++ {
+			h.Observe(time.Duration(i) * time.Microsecond)
+		}
+	}
+	tw := NewTextWriter(io.Discard)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Expose(tw)
+	}
+	if err := tw.Err(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -54,6 +54,12 @@ type Snapshot struct {
 type Monitor struct {
 	name string
 
+	// hist holds the full latency distribution of successful invocations
+	// in log-linear buckets. It is lock-free and unsampled: Snapshot
+	// quantiles read from it, while the sampled reservoir below remains
+	// the distribution-comparison API (LatencyHistory/PercentileLatency).
+	hist *Histogram
+
 	mu           sync.Mutex
 	clk          clock.Clock
 	history      *stats.Reservoir // latency sample in milliseconds
@@ -140,6 +146,7 @@ func WithRecentSize(n int) Option {
 func NewMonitor(name string, opts ...Option) *Monitor {
 	m := &Monitor{
 		name:     name,
+		hist:     NewHistogram(),
 		clk:      clock.Real(),
 		history:  stats.NewReservoir(defaultHistorySize, rand.New(rand.NewSource(1)).Float64),
 		ewma:     stats.NewEWMA(defaultEWMAAlpha),
@@ -173,6 +180,7 @@ func (m *Monitor) Record(o Observation) {
 	} else {
 		// Latency statistics track successful invocations only: a fast
 		// failure says nothing about how long a successful call takes.
+		m.hist.Observe(o.Latency)
 		m.history.Observe(ms)
 		m.ewma.Observe(ms)
 		m.sumLatencyMS += ms
@@ -331,10 +339,25 @@ func (m *Monitor) WindowAvailability(d time.Duration) float64 {
 	return float64(ok) / float64(total)
 }
 
+// LatencyDistribution returns the full bucketed latency distribution of
+// successful invocations. Snapshots share a global bucket layout, so
+// distributions from different monitors can be rolled up with Merge.
+func (m *Monitor) LatencyDistribution() HistSnapshot {
+	return m.hist.Snapshot()
+}
+
 // Snapshot returns a point-in-time summary.
+//
+// P50/P95/P99 are exact bucketed quantiles over every successful
+// invocation, read from the monitor's lock-free histogram: each is the
+// upper bound of the log-linear bucket (width ≤ 6.25% of the value)
+// holding that rank, with no sampling error. Earlier versions
+// interpolated them from the sampled reservoir, which could drift once
+// the observation count exceeded the reservoir size; the reservoir now
+// backs only the distribution-comparison API (LatencyHistory,
+// PercentileLatency).
 func (m *Monitor) Snapshot() Snapshot {
 	m.mu.Lock()
-	sample := m.history.Sample()
 	s := Snapshot{
 		Name:         m.name,
 		Count:        m.count,
@@ -360,12 +383,11 @@ func (m *Monitor) Snapshot() Snapshot {
 	}
 	m.mu.Unlock()
 
-	// One sort serves all three quantiles; the previous per-percentile
-	// Percentile calls each copied and sorted the sample from scratch.
-	if qs, err := stats.Percentiles(sample, 50, 95, 99); err == nil {
-		s.P50Latency = time.Duration(qs[0] * float64(time.Millisecond))
-		s.P95Latency = time.Duration(qs[1] * float64(time.Millisecond))
-		s.P99Latency = time.Duration(qs[2] * float64(time.Millisecond))
-	}
+	// Quantiles come from the bucketed histogram — exact rank selection
+	// over all observations, not the sampled reservoir.
+	hs := m.hist.Snapshot()
+	s.P50Latency = hs.Quantile(0.50)
+	s.P95Latency = hs.Quantile(0.95)
+	s.P99Latency = hs.Quantile(0.99)
 	return s
 }

@@ -62,10 +62,16 @@ type doc struct {
 	entSum   []float64
 	entN     []int
 	rng      *xrand.Source
+	nOOV     int32 // tokens in the last scan not in the shared vocabulary
 }
 
 var docPool = sync.Pool{
 	New: func() any {
+		// A pool miss is the allocation the pooling exists to avoid;
+		// count it so the reuse rate shows up on /metrics.
+		if o := obsPtr.Load(); o != nil {
+			o.allocs.Inc()
+		}
 		return &doc{local: intern.NewDict[string](), rng: xrand.New(0)}
 	},
 }
@@ -79,6 +85,7 @@ func (d *doc) scan(text string, v *vocabTables, extra *intern.Frozen[string]) {
 	d.extra = extra
 	d.nVocab = uint32(v.dict.Len())
 	d.nExtra = uint32(extra.Len())
+	d.nOOV = 0
 	scanWords(text, func(start, end int, sentenceStart bool) {
 		sp := span{start: int32(start), end: int32(end)}
 		if sentenceStart {
@@ -118,20 +125,23 @@ func (d *doc) scan(text string, v *vocabTables, extra *intern.Frozen[string]) {
 				sp.flags |= fStop
 				eligible = false
 			}
-		} else if eid, eok := intern.LookupBytes(extra, lower); eok {
-			id = d.nVocab + eid
-		} else if eligible {
-			// Only keyword-eligible words need a distinct identity; the
-			// local dict persists across pooled documents so a word costs
-			// one allocation the first time this scratch doc ever sees it,
-			// not once per document.
-			lid, lok := intern.DictLookupBytes(d.local, lower)
-			if !lok {
-				lid = d.local.Intern(string(lower))
-			}
-			id = d.nVocab + d.nExtra + lid
 		} else {
-			id = oovID
+			d.nOOV++
+			if eid, eok := intern.LookupBytes(extra, lower); eok {
+				id = d.nVocab + eid
+			} else if eligible {
+				// Only keyword-eligible words need a distinct identity; the
+				// local dict persists across pooled documents so a word costs
+				// one allocation the first time this scratch doc ever sees it,
+				// not once per document.
+				lid, lok := intern.DictLookupBytes(d.local, lower)
+				if !lok {
+					lid = d.local.Intern(string(lower))
+				}
+				id = d.nVocab + d.nExtra + lid
+			} else {
+				id = oovID
+			}
 		}
 		sp.id = id
 		if eligible {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 	"unicode"
 	"unicode/utf8"
 
@@ -95,6 +96,12 @@ func fnv64a(s string) uint64 {
 // text hash, and every random draw happens in the same sequence as the
 // reference implementation, keeping results bit-identical to nluref.
 func (e *Engine) Analyze(text string) Analysis {
+	o := obsPtr.Load()
+	var start time.Time
+	if o != nil {
+		start = time.Now()
+		o.gets.Inc()
+	}
 	v := vocab()
 	d := docPool.Get().(*doc)
 	d.scan(text, v, e.matcher.extra)
@@ -176,7 +183,14 @@ func (e *Engine) Analyze(text string) Analysis {
 		Relations:        d.relations(v, text, mentions),
 		Language:         "en",
 	}
+	if o != nil {
+		o.tokens.Add(uint64(len(d.spans)))
+		o.oov.Add(uint64(d.nOOV))
+	}
 	d.release()
+	if o != nil {
+		o.analyze.Observe(time.Since(start))
+	}
 	return a
 }
 

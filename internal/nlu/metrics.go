@@ -1,0 +1,50 @@
+package nlu
+
+import (
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// nluObs bundles the NLU hot-path instruments. The vocabulary (and the
+// scratch pool) are process-wide, so instrumentation is too: one
+// atomic.Pointer load per Analyze when detached, loaded exactly once per
+// document when attached.
+type nluObs struct {
+	analyze *metrics.Histogram
+	tokens  *metrics.Counter
+	oov     *metrics.Counter
+	gets    *metrics.Counter
+	allocs  *metrics.Counter
+}
+
+var obsPtr atomic.Pointer[nluObs]
+
+// Instrument registers the NLU instrument families in set and turns on
+// per-document instrumentation across every engine in the process: an
+// Analyze latency histogram, tokens-scanned and out-of-vocabulary-token
+// counters, scratch-pool acquisition/allocation counters (gets − allocs
+// is how many documents reused pooled scratch), and a vocabulary-size
+// gauge. Calling it with a nil set detaches the instruments again.
+func Instrument(set *metrics.Set) {
+	if set == nil {
+		obsPtr.Store(nil)
+		return
+	}
+	o := &nluObs{
+		analyze: set.Histogram("richsdk_nlu_analyze_seconds",
+			"Latency of full single-document NLU analyses."),
+		tokens: set.Counter("richsdk_nlu_tokens_total",
+			"Tokens scanned across all analyzed documents."),
+		oov: set.Counter("richsdk_nlu_oov_tokens_total",
+			"Scanned tokens not found in the shared frozen vocabulary."),
+		gets: set.Counter("richsdk_nlu_scratch_gets_total",
+			"Per-document scratch acquisitions from the pool."),
+		allocs: set.Counter("richsdk_nlu_scratch_allocs_total",
+			"Scratch acquisitions that had to allocate a fresh doc (pool miss)."),
+	}
+	set.Gauge("richsdk_intern_dict_size",
+		"Distinct terms in an interned symbol table.",
+		metrics.Label{Name: "dict", Value: "nlu-vocab"}).Set(int64(vocab().dict.Len()))
+	obsPtr.Store(o)
+}

@@ -1,0 +1,54 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestWithInstrumentsStageGauges(t *testing.T) {
+	set := metrics.NewSet()
+	p := New(context.Background(), WithInstruments(set))
+	flow := Source(p, "src", intRange(200))
+	doubled := Via(flow, Stage[int, int]{
+		Name:    "double",
+		Workers: 4,
+		Fn:      func(_ context.Context, v int) (int, error) { return v * 2, nil },
+	})
+	col := Collect(doubled, "collect")
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Items()) != 200 {
+		t.Fatalf("collected %d, want 200", len(col.Items()))
+	}
+	// After Wait every dispatched item has been collected, so the in-flight
+	// gauge must balance back to zero; the queue gauge holds its last
+	// sampled depth, which after drain is also zero.
+	inflight := set.Gauge("richsdk_pipeline_stage_inflight", "", metrics.Label{Name: "stage", Value: "double"})
+	if got := inflight.Value(); got != 0 {
+		t.Errorf("in-flight gauge = %d after Wait, want 0", got)
+	}
+	queue := set.Gauge("richsdk_pipeline_stage_queue_depth", "", metrics.Label{Name: "stage", Value: "double"})
+	if got := queue.Value(); got != 0 {
+		t.Errorf("queue-depth gauge = %d after drain, want 0", got)
+	}
+}
+
+func TestWithInstrumentsNilSetInert(t *testing.T) {
+	p := New(context.Background(), WithInstruments(nil))
+	flow := Source(p, "src", intRange(10))
+	out := Via(flow, Stage[int, int]{
+		Name:    "id",
+		Workers: 2,
+		Fn:      func(_ context.Context, v int) (int, error) { return v, nil },
+	})
+	col := Collect(out, "collect")
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Items()) != 10 {
+		t.Fatalf("collected %d, want 10", len(col.Items()))
+	}
+}

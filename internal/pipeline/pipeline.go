@@ -94,6 +94,17 @@ func WithClock(clk clock.Clock) Option {
 	}
 }
 
+// WithInstruments registers per-stage in-flight and queue-depth gauges
+// in set, labelled stage="<name>", for every Via stage: in-flight is how
+// many items the stage has dispatched to workers but not yet collected,
+// queue depth how many completed-or-running result futures sit in its
+// ordering channel. Stage names are reused across pipeline runs sharing
+// one set (registration is idempotent), so long-lived servers see the
+// live occupancy of the current run. A nil set is ignored.
+func WithInstruments(set *metrics.Set) Option {
+	return func(p *Pipeline) { p.set = set }
+}
+
 // Pipeline is one run of the dataflow engine: build it with New, wire
 // stages with Source / Via / Drain / Collect, then Wait for completion.
 // A Pipeline is single-use.
@@ -102,6 +113,7 @@ type Pipeline struct {
 	cancel  context.CancelCauseFunc
 	clk     clock.Clock
 	metrics *metrics.Registry
+	set     *metrics.Set // optional instrument set for per-stage gauges
 	wg      sync.WaitGroup
 
 	mu      sync.Mutex
@@ -297,6 +309,14 @@ func Via[In, Out any](f *Flow[In], s Stage[In, Out]) *Flow[Out] {
 	}
 	c := p.newCounters(s.Name)
 	mon := p.metrics.Monitor(s.Name)
+	// Nil when the pipeline has no instrument set: every update below is
+	// then an inert nil-receiver call.
+	inflightG := p.set.Gauge("richsdk_pipeline_stage_inflight",
+		"Items dispatched to a stage's workers and not yet collected.",
+		metrics.Label{Name: "stage", Value: s.Name})
+	queueG := p.set.Gauge("richsdk_pipeline_stage_queue_depth",
+		"Result futures waiting in a stage's ordering channel.",
+		metrics.Label{Name: "stage", Value: s.Name})
 	parent := trace.SpanFromContext(p.ctx)
 	out := make(chan Out)
 	pool, err := future.NewPool(workers, 0)
@@ -326,12 +346,15 @@ func Via[In, Out any](f *Flow[In], s Stage[In, Out]) *Flow[Out] {
 				return
 			}
 			c.in.Add(1)
+			inflightG.Inc()
 			fut := future.SubmitCtx(p.ctx, pool, func() (Out, error) {
 				return runItem(p, s, c, mon, parent, item)
 			})
 			select {
 			case inflight <- fut:
+				queueG.Set(int64(len(inflight)))
 			case <-p.ctx.Done():
+				inflightG.Dec()
 				return
 			}
 		}
@@ -341,7 +364,9 @@ func Via[In, Out any](f *Flow[In], s Stage[In, Out]) *Flow[Out] {
 		defer pool.Close()
 		defer close(out)
 		for fut := range inflight {
+			queueG.Set(int64(len(inflight)))
 			v, err := fut.Get()
+			inflightG.Dec()
 			if err != nil {
 				if p.ctx.Err() != nil {
 					continue // already shutting down; just drain

@@ -2,6 +2,7 @@ package rdf
 
 import (
 	"fmt"
+	"time"
 )
 
 // Well-known vocabulary IRIs.
@@ -90,6 +91,14 @@ func ForwardChainStats(g *Graph, rules []Rule, maxIterations int) (ChainStats, e
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if o := g.obs; o != nil {
+		start := time.Now()
+		defer func() {
+			o.chain.Observe(time.Since(start))
+			o.rounds.Add(uint64(stats.Rounds))
+			o.derived.Add(uint64(stats.Derived))
+		}()
+	}
 	compiled, err := g.compileRules(rules)
 	if err != nil {
 		return stats, err

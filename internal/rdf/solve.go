@@ -8,7 +8,10 @@ package rdf
 // executor powers Solve/Query and, with per-premise fact sources, the
 // semi-naive forward chainer in reason.go.
 
-import "sort"
+import (
+	"sort"
+	"time"
+)
 
 // Position roles inside a compiled pattern.
 const (
@@ -281,6 +284,13 @@ type Solutions struct {
 func (g *Graph) SolveRows(patterns []Statement) Solutions {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
+	if o := g.obs; o != nil {
+		start := time.Now()
+		defer func() {
+			o.solve.Observe(time.Since(start))
+			o.patterns.Add(uint64(len(patterns)))
+		}()
+	}
 	pats, vars := g.compileBGP(patterns, false)
 	nv := len(vars)
 	exec := solveExec{

@@ -123,6 +123,9 @@ type Graph struct {
 	osp   map[uint32]map[uint32][]uint32
 	// Per-term statement counts by position, for selectivity estimates.
 	nS, nP, nO map[uint32]int
+	// obs holds the graph's instruments (nil until Instrument attaches
+	// them); guarded by mu like everything else here.
+	obs *rdfObs
 }
 
 // NewGraph returns an empty graph.

@@ -324,6 +324,7 @@ func (idx *Index) evaluate(qterms []qterm, p Params, opts Options, stats *Stats)
 					break
 				}
 			}
+			stats.BlockScans++
 			if p, found := c.find(doc); found {
 				s, m := sc.score(c.idf, p, idx.docLen[doc])
 				s *= c.weight

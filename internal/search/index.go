@@ -21,9 +21,11 @@ package search
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/intern"
 	"repro/internal/lexicon"
+	"repro/internal/metrics"
 	"repro/internal/nlu"
 	"repro/internal/webcorpus"
 )
@@ -95,6 +97,50 @@ type Index struct {
 	// opts in via Options.Expand and the engine's Params enable it, so
 	// the default ranking is bit-identical to the searchref baseline.
 	expander *lexicon.Expander
+	// obs holds the index's instruments (nil when built without
+	// WithMetrics): queries pay one nil check, nothing else.
+	obs *searchObs
+}
+
+// searchObs bundles the query-path instruments registered by
+// WithMetrics. Recording happens once per query from the Stats the
+// evaluator already collects, so the per-posting hot loops stay
+// untouched.
+type searchObs struct {
+	queries    *metrics.Histogram
+	scanned    *metrics.Counter
+	skipped    *metrics.Counter
+	pruned     *metrics.Counter
+	expansions *metrics.Counter
+}
+
+func newSearchObs(set *metrics.Set) *searchObs {
+	return &searchObs{
+		queries: set.Histogram("richsdk_search_query_seconds",
+			"Latency of index queries (block-max top-k evaluation)."),
+		scanned: set.Counter("richsdk_search_blocks_total",
+			"Posting blocks probed or skipped during evaluation.",
+			metrics.Label{Name: "outcome", Value: "scanned"}),
+		skipped: set.Counter("richsdk_search_blocks_total",
+			"Posting blocks probed or skipped during evaluation.",
+			metrics.Label{Name: "outcome", Value: "skipped"}),
+		pruned: set.Counter("richsdk_search_pruned_candidates_total",
+			"Candidate documents abandoned because their score upper bound could not beat the threshold."),
+		expansions: set.Counter("richsdk_search_expansion_terms_total",
+			"Query terms added by lexicon-driven expansion."),
+	}
+}
+
+// record folds one query's evaluator stats into the instruments.
+func (o *searchObs) record(elapsed time.Duration, stats Stats) {
+	if o == nil {
+		return
+	}
+	o.queries.Observe(elapsed)
+	o.scanned.Add(uint64(stats.BlockScans))
+	o.skipped.Add(uint64(stats.BlockSkips))
+	o.pruned.Add(uint64(stats.Pruned))
+	o.expansions.Add(uint64(stats.Expanded))
 }
 
 // IndexOption configures BuildIndex.
@@ -103,6 +149,16 @@ type IndexOption func(*indexConfig)
 type indexConfig struct {
 	expansion bool
 	pmi       lexicon.PMIConfig
+	set       *metrics.Set
+}
+
+// WithMetrics registers the index's instrument families in set and turns
+// on query-path instrumentation: a query latency histogram, blocks
+// scanned/skipped, pruning-abandonment and expansion-term counters, plus
+// a dictionary-size gauge. A nil set leaves the index uninstrumented
+// (identical to omitting the option).
+func WithMetrics(set *metrics.Set) IndexOption {
+	return func(c *indexConfig) { c.set = set }
 }
 
 // WithExpansion builds the query-expansion tables alongside the index:
@@ -184,6 +240,13 @@ func BuildIndex(c *webcorpus.Corpus, opts ...IndexOption) *Index {
 	idx.dict = dict.Freeze()
 	if cfg.expansion {
 		idx.expander = lexicon.NewExpander().WithCooccurrence(pmi.Build())
+	}
+	if cfg.set != nil {
+		idx.obs = newSearchObs(cfg.set)
+		// The dictionary is frozen, so the gauge is a one-shot reading.
+		cfg.set.Gauge("richsdk_intern_dict_size",
+			"Distinct terms in an interned symbol table.",
+			metrics.Label{Name: "dict", Value: "search"}).Set(int64(idx.dict.Len()))
 	}
 	return idx
 }
@@ -320,6 +383,11 @@ type Stats struct {
 	Pruned int
 	// BlockSkips counts posting blocks skipped via block-max metadata.
 	BlockSkips int
+	// BlockScans counts posting blocks actually probed (binary-searched)
+	// for a candidate; BlockScans + BlockSkips is the non-essential probe
+	// volume, and the scanned:skipped ratio is the live measure of how
+	// much work the block-max metadata is avoiding.
+	BlockScans int
 }
 
 // Search runs a ranked query against the index: top Limit results after
@@ -340,6 +408,10 @@ func (idx *Index) Search(query string, p Params, opts Options) []Result {
 // SearchStats is Search plus evaluation statistics (pruning and skip
 // counters for experiments and benchmarks).
 func (idx *Index) SearchStats(query string, p Params, opts Options) ([]Result, Stats) {
+	var start time.Time
+	if idx.obs != nil {
+		start = time.Now()
+	}
 	if opts.Limit <= 0 {
 		opts.Limit = 10
 	}
@@ -348,11 +420,18 @@ func (idx *Index) SearchStats(query string, p Params, opts Options) ([]Result, S
 	}
 	qterms := idx.queryTerms(query)
 	if len(qterms) == 0 {
+		if idx.obs != nil {
+			idx.obs.record(time.Since(start), Stats{})
+		}
 		return []Result{}, Stats{}
 	}
 	var stats Stats
 	qterms = idx.expandQuery(qterms, p, opts, &stats)
-	return idx.evaluate(qterms, p, opts, &stats), stats
+	res := idx.evaluate(qterms, p, opts, &stats)
+	if idx.obs != nil {
+		idx.obs.record(time.Since(start), stats)
+	}
+	return res, stats
 }
 
 // qterm is one compiled query term: a term ID and the query-side weight
