@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check cover bench bench-rdf bench-search bench-nlu bench-metrics fmt fmt-check
+.PHONY: build test vet race check cover bench bench-rdf bench-search bench-nlu bench-metrics bench-chaos loadgen-smoke fmt fmt-check
 
 build:
 	$(GO) build ./...
@@ -15,14 +15,16 @@ vet:
 # layer's concurrency tests (sharded stores, singleflight cancellation,
 # concurrent disk writers). Timing-sensitive guards
 # (TestPipelineOverheadCacheHit, TestTraceOverheadFacade,
-# TestShardedCacheShape, TestRDFInferenceShape's and TestSearchShape's
-# timing legs) skip themselves here; run plain `make test` to exercise
-# them.
+# TestShardedCacheShape, TestRDFInferenceShape's, TestSearchShape's and
+# TestE21ChaosShape's timing legs) skip themselves here; run plain
+# `make test` to exercise them.
 race:
 	$(GO) test -race ./...
 
-# check is the pre-merge gate.
-check: fmt-check vet race
+# check is the pre-merge gate. loadgen-smoke drives the facade through a
+# short saturating burst with adaptive shedding on, catching harness or
+# admission-control regressions the unit tests can miss.
+check: fmt-check vet race loadgen-smoke
 
 # cover runs the full suite with per-package coverage percentages.
 cover:
@@ -69,6 +71,19 @@ bench-nlu:
 # full Set rendering into the Prometheus text format (BenchmarkSetExpose).
 bench-metrics:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem ./internal/metrics
+
+# bench-chaos runs the chaos/load experiment (E21) at full scale: the
+# loadgen harness drives the facade closed-loop at 4x+ saturation through
+# a seeded fault storm, once without and once with the adaptive shed
+# stage, and prints the goodput/latency comparison table.
+bench-chaos:
+	$(GO) run ./cmd/benchmark -run E21
+
+# loadgen-smoke is a deterministic half-second saturating burst through
+# the in-process rig; it exits non-zero if the harness sends nothing,
+# produces zero goodput, or the shed stage rejects nothing.
+loadgen-smoke:
+	$(GO) run ./cmd/loadgen -smoke
 
 fmt:
 	gofmt -w .

@@ -58,6 +58,8 @@ func run() error {
 		breakerCooldown  = flag.Duration("breaker-cooldown", 15*time.Second, "how long an open breaker rejects calls before probing")
 		deadlineFactor   = flag.Float64("deadline-factor", 0, "per-call deadline as a multiple of predicted latency (0 disables)")
 		deadlineFloor    = flag.Duration("deadline-floor", 250*time.Millisecond, "minimum per-call deadline when -deadline-factor is set")
+		shedTarget       = flag.Duration("shed-target", 0, "admitted-call p99 target for adaptive load shedding (0 disables the shed stage)")
+		shedMaxInFlight  = flag.Int("shed-max-inflight", 256, "concurrency ceiling for the adaptive shed stage")
 
 		traceSample = flag.Float64("trace-sample", 1, "fraction of invocations to trace, 0..1 (0 disables tracing)")
 		traceKeep   = flag.Int("trace-keep", 128, "recent traces retained for /v1/traces")
@@ -82,6 +84,7 @@ func run() error {
 		CacheTTL: *cacheTTL,
 		Breaker:  core.BreakerConfig{Threshold: *breakerThreshold, Cooldown: *breakerCooldown},
 		Deadline: core.DeadlineConfig{Factor: *deadlineFactor, Floor: *deadlineFloor},
+		Shed:     core.ShedConfig{TargetP99: *shedTarget, MaxInFlight: *shedMaxInFlight},
 		Tracer:   tracer,
 	})
 	if err != nil {

@@ -101,6 +101,10 @@ type Config struct {
 	// Deadline enables predicted-latency deadlines (DeadlineStage) when
 	// Factor > 0.
 	Deadline DeadlineConfig
+	// Shed enables adaptive admission control (ShedStage) when TargetP99
+	// > 0: over-limit calls fail fast with ErrShed instead of queueing
+	// the facade into collapse.
+	Shed ShedConfig
 	// Tracer enables distributed-style tracing of invocations: a root span
 	// per call (TraceStage) with one child span per middleware stage. Nil
 	// disables tracing; a tracer with SampleRate 0 is treated as disabled.
@@ -166,6 +170,7 @@ type Client struct {
 	pool       *future.Pool
 	predictors *PredictorSet
 	breakers   *BreakerSet // nil when Config.Breaker is disabled
+	shedder    *Shedder    // nil when Config.Shed is disabled
 
 	// regs is a copy-on-write snapshot: Register rebuilds it under mu,
 	// invocations read it with a single atomic load and no lock.
@@ -199,8 +204,15 @@ func NewClient(cfg Config) (*Client, error) {
 	if cfg.Breaker.Threshold > 0 {
 		c.breakers = NewBreakerSet(cfg.Breaker, cfg.Clock)
 	}
+	if cfg.Shed.TargetP99 > 0 {
+		c.shedder = NewShedder(cfg.Shed, cfg.Clock)
+	}
 	return c, nil
 }
+
+// Shedder exposes the client's adaptive admission controller for metrics
+// exposition and experiments; nil when shedding is disabled.
+func (c *Client) Shedder() *Shedder { return c.shedder }
 
 // Close releases the client's async pool — waiting for in-flight async
 // invocations to finish — and stops the cache janitor, if configured.
@@ -297,6 +309,10 @@ func (c *Client) stages(reg *registration) []Middleware {
 	mw = append(mw, CacheStage(c.memcache, c.flight))
 	if c.breakers != nil {
 		mw = append(mw, BreakerStage(c.breakers))
+	}
+	if c.shedder != nil {
+		// After the breaker on purpose: see ShedStage.
+		mw = append(mw, ShedStage(c.shedder))
 	}
 	mw = append(mw, QuotaStage())
 	if c.cfg.Deadline.Factor > 0 {

@@ -123,7 +123,10 @@ func errStatus(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, service.ErrBadRequest):
 		return http.StatusBadRequest
-	case errors.Is(err, ErrClientQuota), errors.Is(err, service.ErrQuotaExceeded):
+	// ErrShed also maps to 429: like a quota rejection it means "back
+	// off and retry later", and it must stay cheap — a shed response is
+	// the facade's pressure-relief valve under saturation.
+	case errors.Is(err, ErrClientQuota), errors.Is(err, service.ErrQuotaExceeded), errors.Is(err, ErrShed):
 		return http.StatusTooManyRequests
 	// ErrDeadline first: a deadline-bounded hang usually also wraps the
 	// service's unavailability, and the timeout is the sharper diagnosis.
@@ -338,6 +341,19 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		for _, st := range states {
 			tw.Metric("richsdk_breaker_consecutive_failures", float64(st.Consecutive), metrics.Label{Name: "service", Value: st.Service})
 		}
+	}
+
+	if sh := a.client.Shedder(); sh != nil {
+		tw.Family("richsdk_shed_inflight", "Admitted calls currently in flight through the shed stage.", "gauge")
+		tw.Metric("richsdk_shed_inflight", float64(sh.InFlight()))
+		tw.Family("richsdk_shed_limit", "Current adaptive concurrency limit.", "gauge")
+		tw.Metric("richsdk_shed_limit", float64(sh.Limit()))
+		tw.Family("richsdk_shed_admitted_total", "Calls admitted by the shed stage.", "counter")
+		tw.Metric("richsdk_shed_admitted_total", float64(sh.Admitted()))
+		tw.Family("richsdk_shed_rejected_total", "Calls shed (fast 429) by the shed stage.", "counter")
+		tw.Metric("richsdk_shed_rejected_total", float64(sh.Rejected()))
+		tw.Family("richsdk_shed_latency", "Admitted-call latency as seen by the admission controller.", "histogram")
+		metrics.WriteHistogram(tw, "richsdk_shed_latency", sh.LatencySnapshot())
 	}
 
 	if tr := a.client.Tracer(); tr.Enabled() {

@@ -22,6 +22,9 @@ import (
 //	TraceStage    — root span per invocation (only when Config.Tracer is set)
 //	CacheStage    — response cache + single-flight de-duplication
 //	BreakerStage  — circuit breaker (only when Config.Breaker enables it)
+//	ShedStage     — adaptive admission control (only when Config.Shed
+//	                enables it; after the breaker so open-circuit
+//	                fast-fails stay out of the admission window)
 //	QuotaStage    — client-side quota enforcement
 //	DeadlineStage — predicted-latency deadline (only when Config.Deadline
 //	                enables it)

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/failover"
+	"repro/internal/loadgen"
+	"repro/internal/service"
+	"repro/internal/simsvc"
+)
+
+// E21 — chaos storm with adaptive load shedding. The loadgen harness
+// drives the HTTP facade closed-loop at ~4x+ the backend's saturation
+// point while a seeded chaos schedule storms the backend (5xx bursts,
+// latency spikes, down-flaps), once with the shed stage disabled and once
+// enabled. The claim under test is the ROADMAP's graceful-degradation
+// story: without admission control the facade collapses into timeouts and
+// breaker flapping (goodput ≈ 0); with the AIMD shed stage the facade
+// sheds the excess as fast 429s, keeps admitted-call p99 bounded near the
+// target, and recovers to pre-storm latency when the storm passes.
+
+// e21TargetP99 is the admitted-latency target the shed controller defends.
+const e21TargetP99 = 10 * time.Millisecond
+
+// e21Timeout is the simulated user's patience: responses slower than this
+// are wasted work (the goodput definition's denominator).
+const e21Timeout = 25 * time.Millisecond
+
+// E21Phase is one load phase's outcome for one configuration.
+type E21Phase struct {
+	Name    string
+	Report  loadgen.Report
+	Breaker string // primary service's breaker state at phase end
+	Limit   int64  // shed limit at phase end (0 when shedding is off)
+}
+
+// E21Config is one configuration's three-phase run.
+type E21Config struct {
+	Shed  bool
+	Pre   E21Phase
+	Storm E21Phase
+	Post  E21Phase
+}
+
+// e21Durations scales the phase lengths, flooring each so the controller
+// and breaker get enough real time to act even at tiny test scales.
+func e21Durations(scale Scale) (pre, storm, post time.Duration) {
+	d := func(base, floor time.Duration) time.Duration {
+		v := time.Duration(float64(base) * float64(scale))
+		if v < floor {
+			v = floor
+		}
+		return v
+	}
+	return d(time.Second, 200*time.Millisecond),
+		d(3*time.Second, 800*time.Millisecond),
+		d(1500*time.Millisecond, 400*time.Millisecond)
+}
+
+// e21Run drives one configuration (shed on or off) through pre-storm,
+// storm, and post-storm phases against a fresh backend + facade rig.
+func e21Run(scale Scale, shed bool) (E21Config, error) {
+	// The backend: 4-way parallel, 2ms service time => ~2000 req/s of
+	// capacity. 256 closed-loop workers with a 25ms budget offer well
+	// over 4x that, so the rig is deep into saturation during the storm.
+	svc := simsvc.New(simsvc.Config{
+		Info:     service.Info{Name: "cog-primary", Category: "cog"},
+		Latency:  simsvc.Constant{D: 2 * time.Millisecond},
+		Capacity: 4,
+		Seed:     42,
+	})
+	cfg := core.Config{
+		Breaker:  core.BreakerConfig{Threshold: 8, Cooldown: 150 * time.Millisecond},
+		Deadline: core.DeadlineConfig{Factor: 4, Floor: 15 * time.Millisecond, Cap: 50 * time.Millisecond},
+		DefaultRetry: failover.RetryPolicy{
+			MaxAttempts: 2,
+			Backoff:     2 * time.Millisecond,
+			Jitter:      failover.FullJitter,
+		},
+	}
+	if shed {
+		cfg.Shed = core.ShedConfig{
+			TargetP99:   e21TargetP99,
+			MaxInFlight: 64, MinInFlight: 2,
+			Window:         25 * time.Millisecond,
+			DecreaseFactor: 0.75,
+		}
+	}
+	client, err := core.NewClient(cfg)
+	if err != nil {
+		return E21Config{}, err
+	}
+	defer client.Close()
+	if err := client.Register(svc); err != nil {
+		return E21Config{}, err
+	}
+	api := core.NewAPI(client)
+
+	preD, stormD, postD := e21Durations(scale)
+	newReq := loadgen.InvokeRequest("cog-primary", 1.0) // all-unique texts: no cache absorption
+
+	phase := func(name string, workers int, dur time.Duration, chaos *loadgen.Schedule) (E21Phase, error) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		if chaos != nil {
+			go chaos.Play(ctx)
+		}
+		rep, err := loadgen.Run(ctx, loadgen.Config{
+			Handler:    api,
+			NewRequest: newReq,
+			Arrival:    loadgen.ClosedLoop,
+			Workers:    workers,
+			Duration:   dur,
+			Timeout:    e21Timeout,
+			ShedPause:  2 * time.Millisecond, // clients honor "try again later"
+			Seed:       7,
+		})
+		if err != nil {
+			return E21Phase{}, err
+		}
+		p := E21Phase{Name: name, Report: rep, Breaker: breakerState(client, "cog-primary")}
+		if sh := client.Shedder(); sh != nil {
+			p.Limit = sh.Limit()
+		}
+		// Drain stragglers (requests keep their full budget past the
+		// window) so phases don't bleed into each other.
+		time.Sleep(2 * e21Timeout)
+		return p, nil
+	}
+
+	out := E21Config{Shed: shed}
+	if out.Pre, err = phase("pre-storm", 4, preD, nil); err != nil {
+		return out, err
+	}
+	// The storm: saturating concurrency plus a seeded schedule of fault
+	// bursts against the backend. Same seed both configs — identical
+	// chaos, the shed stage is the only variable.
+	faults := []loadgen.Fault{
+		{Name: "failburst", On: func() { svc.SetFailRate(0.7) }, Off: func() { svc.SetFailRate(0) }},
+		{Name: "latspike", On: func() { svc.SetExtraLatency(40 * time.Millisecond) }, Off: func() { svc.SetExtraLatency(0) }},
+		{Name: "flap", On: func() { svc.SetDown(true) }, Off: func() { svc.SetDown(false) }},
+	}
+	chaos := loadgen.RandomStorms(99, stormD, 3, faults)
+	if out.Storm, err = phase("storm", 256, stormD, chaos); err != nil {
+		return out, err
+	}
+	// Belt and braces: the schedule's off-events all land inside the
+	// horizon, but make recovery unconditional before measuring it.
+	svc.SetFailRate(0)
+	svc.SetExtraLatency(0)
+	svc.SetDown(false)
+	if out.Post, err = phase("post-storm", 4, postD, nil); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+func breakerState(c *core.Client, name string) string {
+	for _, st := range c.BreakerStates() {
+		if st.Service == name {
+			return st.State
+		}
+	}
+	return "-"
+}
+
+// RunE21 runs the chaos/load experiment at the given scale and returns the
+// structured results plus the printable table.
+func RunE21(scale Scale) (unshed, shedded E21Config, table Table, err error) {
+	if unshed, err = e21Run(scale, false); err != nil {
+		return unshed, shedded, table, err
+	}
+	if shedded, err = e21Run(scale, true); err != nil {
+		return unshed, shedded, table, err
+	}
+
+	table = Table{
+		ID:     "E21",
+		Title:  "chaos storm, adaptive load shedding",
+		Claim:  "under fault storms at 4x+ saturation, AIMD admission control keeps admitted p99 bounded and goodput materially above the unshed baseline, recovering after the storm",
+		Header: []string{"config", "phase", "sent", "ok", "goodput/s", "ok%", "shed", "timeout", "503", "504", "p50 ok", "p99 ok", "breaker", "limit"},
+	}
+	add := func(cfg E21Config) {
+		label := "unshed"
+		if cfg.Shed {
+			label = "shed"
+		}
+		for _, p := range []E21Phase{cfg.Pre, cfg.Storm, cfg.Post} {
+			r := p.Report
+			limit := "-"
+			if cfg.Shed {
+				limit = fmt.Sprintf("%d", p.Limit)
+			}
+			table.Rows = append(table.Rows, []string{
+				label, p.Name,
+				fmt.Sprintf("%d", r.Sent),
+				fmt.Sprintf("%d", r.OK),
+				fmt.Sprintf("%.0f", r.Goodput()),
+				fmt.Sprintf("%.0f%%", 100*r.OKRate()),
+				fmt.Sprintf("%d", r.Shed),
+				fmt.Sprintf("%d", r.Timeouts),
+				fmt.Sprintf("%d", r.Status[http.StatusServiceUnavailable]),
+				fmt.Sprintf("%d", r.Status[http.StatusGatewayTimeout]),
+				fmtMS(r.OKLatency.Quantile(0.50)),
+				fmtMS(r.OKLatency.Quantile(0.99)),
+				p.Breaker, limit,
+			})
+		}
+	}
+	add(unshed)
+	add(shedded)
+
+	ratio := float64(shedded.Storm.Report.OK) / float64(max(int(unshed.Storm.Report.OK), 1))
+	table.Notes = fmt.Sprintf(
+		"storm goodput: shed %.0f/s vs unshed %.0f/s (%.1fx); shed storm p99(ok) %v vs target %v; post-storm p99 %v vs pre %v",
+		shedded.Storm.Report.Goodput(), unshed.Storm.Report.Goodput(), ratio,
+		shedded.Storm.Report.OKLatency.Quantile(0.99), e21TargetP99,
+		shedded.Post.Report.OKLatency.Quantile(0.99), shedded.Pre.Report.OKLatency.Quantile(0.99))
+	return unshed, shedded, table, nil
+}
+
+func fmtMS(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+}

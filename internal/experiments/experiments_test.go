@@ -469,8 +469,8 @@ func TestE17InferenceScalingShape(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	entries := All()
-	if len(entries) != 24 {
-		t.Errorf("registry has %d entries, want 24 (E1-E20 + A1-A4)", len(entries))
+	if len(entries) != 25 {
+		t.Errorf("registry has %d entries, want 25 (E1-E21 + A1-A4)", len(entries))
 	}
 	seen := map[string]bool{}
 	for _, e := range entries {
@@ -564,5 +564,79 @@ func TestE20InstrumentCostShape(t *testing.T) {
 	}
 	if modes["uncontended"] != 3 || modes["contended"] != 3 {
 		t.Errorf("mode coverage = %v, want 3 each", modes)
+	}
+}
+
+func TestE21ChaosShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E21 runs multi-second real-time load phases")
+	}
+	unshed, shed, table, err := RunE21(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRenders(t, table)
+	if len(table.Rows) != 6 {
+		t.Fatalf("got %d rows, want 2 configs x 3 phases", len(table.Rows))
+	}
+	// Both configs must carry real load in every phase.
+	for _, cfg := range []E21Config{unshed, shed} {
+		for _, p := range []E21Phase{cfg.Pre, cfg.Storm, cfg.Post} {
+			if p.Report.Sent == 0 {
+				t.Fatalf("shed=%v phase %s sent nothing", cfg.Shed, p.Name)
+			}
+		}
+	}
+	// Shedding engaged during the storm regardless of timing conditions.
+	if shed.Storm.Report.Shed == 0 {
+		t.Error("shed config rejected nothing during the storm")
+	}
+	// The remaining legs compare real-time goodput and latency across
+	// configs; race-detector instrumentation multiplies the backend's
+	// 2ms service time past the latency target and client budget, so the
+	// comparison is meaningless there. Run plain `make test` for them.
+	if raceEnabled {
+		t.Log("race detector on: skipping goodput/latency legs")
+		return
+	}
+	// Calm phases are healthy for both configs.
+	if unshed.Pre.Report.OKRate() < 0.9 || shed.Pre.Report.OKRate() < 0.9 {
+		t.Errorf("pre-storm ok-rate unhealthy: unshed %.2f, shed %.2f",
+			unshed.Pre.Report.OKRate(), shed.Pre.Report.OKRate())
+	}
+	// The tentpole claim: under the same seeded storm at saturation, the
+	// shed config's goodput materially beats the unshed baseline. The
+	// full-scale run shows ~4x; at this reduced scale the storm is only
+	// ~800ms so the margin tightens — assert 1.5x against a floored
+	// baseline so the test has teeth without becoming a benchmark.
+	unshedOK := unshed.Storm.Report.OK
+	if unshedOK < 1 {
+		unshedOK = 1
+	}
+	if 2*shed.Storm.Report.OK < 3*unshedOK {
+		t.Errorf("storm goodput: shed %d ok vs unshed %d ok, want >= 1.5x",
+			shed.Storm.Report.OK, unshed.Storm.Report.OK)
+	}
+	// Shedding converts overload into fast 429s rather than timeouts.
+	if shed.Storm.Report.Timeouts >= unshed.Storm.Report.Timeouts {
+		t.Errorf("shed config timed out as much as unshed (%d vs %d)",
+			shed.Storm.Report.Timeouts, unshed.Storm.Report.Timeouts)
+	}
+	// Admitted p99 stays bounded near the client budget during the storm.
+	// Quantile interpolates to a bucket's upper bound, so give it half a
+	// budget of slack for bucket granularity.
+	if p99 := shed.Storm.Report.OKLatency.Quantile(0.99); p99 > e21Timeout+e21Timeout/2 {
+		t.Errorf("shed storm p99(ok) = %v, want bounded near client budget %v", p99, e21Timeout)
+	}
+	// After the storm the shed facade recovers: healthy ok-rate and a p99
+	// back in the same regime as pre-storm (generous 3x margin — this is
+	// a recovery check, not a latency benchmark).
+	if shed.Post.Report.OKRate() < 0.9 {
+		t.Errorf("shed post-storm ok-rate = %.2f, want >= 0.9", shed.Post.Report.OKRate())
+	}
+	prep99 := shed.Pre.Report.OKLatency.Quantile(0.99)
+	postp99 := shed.Post.Report.OKLatency.Quantile(0.99)
+	if postp99 > 3*prep99 {
+		t.Errorf("shed post-storm p99 %v did not recover near pre-storm %v", postp99, prep99)
 	}
 }

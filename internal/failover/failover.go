@@ -15,7 +15,76 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/service"
+	"repro/internal/xrand"
 )
+
+// Jitter selects how the computed backoff wait is randomized before
+// sleeping. Without jitter, concurrent callers that failed together retry
+// in lockstep and re-spike the recovering service — the thundering herd
+// the AWS architecture blog's "Exponential Backoff And Jitter" analysis
+// quantifies. Jitter only perturbs the slept duration; the underlying
+// exponential schedule (and therefore the un-jittered cap behavior) is
+// unchanged.
+type Jitter int
+
+const (
+	// NoJitter sleeps the exact computed backoff (the historical
+	// behavior; callers retry in lockstep).
+	NoJitter Jitter = iota
+	// FullJitter sleeps uniform(0, wait] — the strategy with the best
+	// contention spread in the AWS analysis, and the default for the SDK
+	// core's retry stage.
+	FullJitter
+	// EqualJitter sleeps wait/2 + uniform(0, wait/2], keeping at least
+	// half the deterministic delay while still decorrelating callers.
+	EqualJitter
+)
+
+// jitterSrc is the package-level RNG for backoff jitter. It is shared —
+// and mutex-guarded — precisely so that concurrent callers draw different
+// values: a per-call seeded source would reproduce the lockstep the jitter
+// exists to break. SeedJitter pins the stream for deterministic tests.
+var (
+	jitterMu  sync.Mutex
+	jitterSrc = xrand.New(1)
+)
+
+// SeedJitter reseeds the shared jitter stream. Tests use it to make
+// jittered backoff schedules reproducible run to run.
+func SeedJitter(seed int64) {
+	jitterMu.Lock()
+	jitterSrc.Reseed(seed)
+	jitterMu.Unlock()
+}
+
+// jitterWait maps the deterministic wait through the jitter mode. The
+// result is always in (0, wait] so a positive backoff never degenerates to
+// a zero-sleep hot loop.
+func jitterWait(wait time.Duration, j Jitter) time.Duration {
+	if wait <= 0 || j == NoJitter {
+		return wait
+	}
+	jitterMu.Lock()
+	u := jitterSrc.Float64()
+	jitterMu.Unlock()
+	switch j {
+	case FullJitter:
+		w := time.Duration(u * float64(wait))
+		if w <= 0 {
+			w = 1
+		}
+		return w
+	case EqualJitter:
+		half := wait / 2
+		w := half + time.Duration(u*float64(wait-half))
+		if w <= 0 {
+			w = 1
+		}
+		return w
+	default:
+		return wait
+	}
+}
 
 // RetryPolicy controls how a single service is retried.
 type RetryPolicy struct {
@@ -29,6 +98,10 @@ type RetryPolicy struct {
 	BackoffFactor float64
 	// MaxBackoff caps the wait; 0 means uncapped.
 	MaxBackoff time.Duration
+	// Jitter randomizes each slept backoff to decorrelate concurrent
+	// retriers. The zero value (NoJitter) preserves the exact historical
+	// schedule.
+	Jitter Jitter
 	// RetryOn decides whether an error is retryable. Nil means retry on
 	// service.ErrUnavailable only — permanent errors (bad request,
 	// quota) never retry by default.
@@ -83,7 +156,7 @@ func InvokeFunc(ctx context.Context, clk clock.Clock, fn func(ctx context.Contex
 			select {
 			case <-ctx.Done():
 				return service.Response{}, attempt, fmt.Errorf("failover: %w (after %w)", ctx.Err(), lastErr)
-			case <-clk.After(wait):
+			case <-clk.After(jitterWait(wait, policy.Jitter)):
 			}
 			factor := policy.BackoffFactor
 			if factor > 1 {

@@ -103,8 +103,8 @@ func TestInvokeZeroAttemptsClamped(t *testing.T) {
 }
 
 func TestInvokeBackoffGrowsAndCaps(t *testing.T) {
-	// Use real clock with tiny backoffs; verify total retry time implies
-	// growth happened but stayed capped.
+	// A recording clock captures the exact slept schedule: 1ms, then
+	// 10ms capped to 5ms, then 5ms again.
 	svc, _ := failNTimes("slow", 3)
 	policy := RetryPolicy{
 		MaxAttempts:   4,
@@ -112,18 +112,20 @@ func TestInvokeBackoffGrowsAndCaps(t *testing.T) {
 		BackoffFactor: 10,
 		MaxBackoff:    5 * time.Millisecond,
 	}
-	start := time.Now()
-	_, _, err := Invoke(context.Background(), nil, svc, service.Request{}, policy)
+	clk := newRecordingClock()
+	_, _, err := Invoke(context.Background(), clk, svc, service.Request{}, policy)
 	if err != nil {
 		t.Fatalf("Invoke error = %v", err)
 	}
-	elapsed := time.Since(start)
-	// Backoffs: 1ms, 5ms (10ms capped), 5ms -> >= 11ms but << 111ms.
-	if elapsed < 8*time.Millisecond {
-		t.Errorf("elapsed = %v, backoff apparently skipped", elapsed)
+	want := []time.Duration{time.Millisecond, 5 * time.Millisecond, 5 * time.Millisecond}
+	got := clk.waits()
+	if len(got) != len(want) {
+		t.Fatalf("slept %v, want %v", got, want)
 	}
-	if elapsed > 90*time.Millisecond {
-		t.Errorf("elapsed = %v, backoff apparently uncapped", elapsed)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sleep %d = %v, want %v", i, got[i], want[i])
+		}
 	}
 }
 

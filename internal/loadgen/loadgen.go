@@ -1,0 +1,296 @@
+// Package loadgen is the closed-loop chaos/load harness: it drives an
+// http.Handler — normally the rich SDK's HTTP facade (core.API) — at high
+// concurrency with open- or closed-loop arrival models, classifies every
+// response into goodput / shed / timeout / error, and scripts deterministic
+// fault storms into the simulated backends through a seeded chaos schedule.
+// It exists to attack the resilience stack the paper prescribes (breakers,
+// predicted-latency deadlines, retries, quotas) and to measure whether the
+// facade degrades gracefully — fast 429s from the adaptive shed stage —
+// instead of collapsing when offered load exceeds capacity.
+//
+// The generator calls the handler in-process (httptest recorders, no
+// sockets), so a run measures the facade and middleware chain itself, with
+// zero kernel networking noise and full determinism under a fixed seed.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/xrand"
+)
+
+// Arrival selects the load model.
+type Arrival int
+
+const (
+	// ClosedLoop runs Workers synchronous callers back to back: each
+	// worker issues its next request the moment the previous response
+	// lands. Offered load self-limits to Workers / latency — the classic
+	// benchmark loop, and the model that saturates a backend hardest at a
+	// given concurrency.
+	ClosedLoop Arrival = iota
+	// OpenLoop fires requests on a Poisson process at Rate per second
+	// regardless of completions, bounded by Workers outstanding; arrivals
+	// that find every worker busy are counted as Dropped. Open loops
+	// model independent users and expose queueing collapse that closed
+	// loops hide.
+	OpenLoop
+)
+
+// Config configures one load run.
+type Config struct {
+	// Handler receives every generated request. Required.
+	Handler http.Handler
+	// NewRequest builds the i-th request; src is a per-worker seeded RNG
+	// for request diversity. Required. It must build a fresh request
+	// (fresh body) every call.
+	NewRequest func(i int, src *xrand.Source) *http.Request
+	// Arrival selects the load model. Default ClosedLoop.
+	Arrival Arrival
+	// Workers is the concurrency: loop workers (closed) or the bound on
+	// outstanding requests (open). Zero means 8.
+	Workers int
+	// Rate is the open-loop arrival rate in requests/second. Required
+	// for OpenLoop, ignored for ClosedLoop.
+	Rate float64
+	// Duration bounds the run. Zero means 1 second.
+	Duration time.Duration
+	// Timeout is the per-request client budget: a response slower than
+	// this counts as a Timeout even if it eventually carries 200,
+	// because the simulated user has given up. Zero means no budget.
+	Timeout time.Duration
+	// ShedPause is how long a closed-loop worker waits after a 429
+	// before its next request — a client honoring "try again later".
+	// Zero means no pause (the worker spins on rejections, the most
+	// hostile client possible).
+	ShedPause time.Duration
+	// Seed seeds request generation (per-worker streams derive from it).
+	Seed int64
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	// Elapsed is the measured wall-clock span of the run.
+	Elapsed time.Duration
+	// Sent counts requests issued; Sent == OK + Shed + Timeouts + errors.
+	Sent int64
+	// OK counts 200 responses that landed within Timeout — the goodput
+	// numerator.
+	OK int64
+	// Shed counts 429 responses (admission control or quota): fast,
+	// cheap rejections, the graceful-degradation currency.
+	Shed int64
+	// Timeouts counts requests whose response missed the client budget,
+	// whatever status eventually arrived.
+	Timeouts int64
+	// Dropped counts open-loop arrivals that found all Workers busy.
+	Dropped int64
+	// Status histograms every HTTP status received (within budget).
+	Status map[int]int64
+	// OKLatency is the latency distribution of OK responses only.
+	OKLatency metrics.HistSnapshot
+	// AdmittedLatency is the latency distribution of every non-shed
+	// response, including errors — what a caller actually waited.
+	AdmittedLatency metrics.HistSnapshot
+}
+
+// Goodput returns OK responses per second of run time.
+func (r Report) Goodput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.OK) / r.Elapsed.Seconds()
+}
+
+// OKRate returns the fraction of sent requests that became goodput.
+func (r Report) OKRate() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.OK) / float64(r.Sent)
+}
+
+// collector accumulates classifications from all workers.
+type collector struct {
+	mu       sync.Mutex
+	sent     int64
+	ok       int64
+	shed     int64
+	timeouts int64
+	dropped  int64
+	status   map[int]int64
+
+	okLat  *metrics.Histogram
+	admLat *metrics.Histogram
+}
+
+func newCollector() *collector {
+	return &collector{
+		status: make(map[int]int64),
+		okLat:  metrics.NewHistogram(),
+		admLat: metrics.NewHistogram(),
+	}
+}
+
+// record classifies one completed request.
+func (c *collector) record(status int, lat time.Duration, timedOut bool) {
+	c.mu.Lock()
+	c.sent++
+	switch {
+	case timedOut:
+		c.timeouts++
+	case status == http.StatusTooManyRequests:
+		c.shed++
+		c.status[status]++
+	default:
+		c.status[status]++
+		c.admLat.Observe(lat)
+		if status == http.StatusOK {
+			c.ok++
+			c.okLat.Observe(lat)
+		}
+	}
+	c.mu.Unlock()
+}
+
+func (c *collector) report(elapsed time.Duration) Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	status := make(map[int]int64, len(c.status))
+	for k, v := range c.status {
+		status[k] = v
+	}
+	return Report{
+		Elapsed:         elapsed,
+		Sent:            c.sent,
+		OK:              c.ok,
+		Shed:            c.shed,
+		Timeouts:        c.timeouts,
+		Dropped:         c.dropped,
+		Status:          status,
+		OKLatency:       c.okLat.Snapshot(),
+		AdmittedLatency: c.admLat.Snapshot(),
+	}
+}
+
+// Run executes one load run against cfg.Handler and returns its Report.
+// The run ends at cfg.Duration or when ctx is cancelled, whichever comes
+// first; in-flight requests are allowed to finish.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	if cfg.Handler == nil {
+		return Report{}, errors.New("loadgen: Config.Handler is required")
+	}
+	if cfg.NewRequest == nil {
+		return Report{}, errors.New("loadgen: Config.NewRequest is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.Arrival == OpenLoop && cfg.Rate <= 0 {
+		return Report{}, errors.New("loadgen: OpenLoop requires Rate > 0")
+	}
+
+	col := newCollector()
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	start := time.Now()
+	switch cfg.Arrival {
+	case OpenLoop:
+		runOpen(runCtx, cfg, col)
+	default:
+		runClosed(runCtx, cfg, col)
+	}
+	return col.report(time.Since(start)), nil
+}
+
+// issue sends one request through the handler under the client budget and
+// classifies the outcome, returning the HTTP status observed.
+func issue(ctx context.Context, cfg Config, col *collector, req *http.Request) int {
+	rctx := ctx
+	var cancel context.CancelFunc
+	if cfg.Timeout > 0 {
+		// The budget intentionally outlives the run window: a request
+		// issued at the deadline's edge still gets its full Timeout.
+		rctx, cancel = context.WithTimeout(context.WithoutCancel(ctx), cfg.Timeout)
+		defer cancel()
+	}
+	rec := httptest.NewRecorder()
+	t0 := time.Now()
+	cfg.Handler.ServeHTTP(rec, req.WithContext(rctx))
+	lat := time.Since(t0)
+	timedOut := cfg.Timeout > 0 && lat >= cfg.Timeout
+	col.record(rec.Code, lat, timedOut)
+	return rec.Code
+}
+
+// runClosed runs Workers back-to-back request loops until ctx expires.
+func runClosed(ctx context.Context, cfg Config, col *collector) {
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := xrand.New(cfg.Seed + int64(w)*7919)
+			for i := 0; ctx.Err() == nil; i++ {
+				status := issue(ctx, cfg, col, cfg.NewRequest(i, src))
+				if status == http.StatusTooManyRequests && cfg.ShedPause > 0 {
+					t := time.NewTimer(cfg.ShedPause)
+					select {
+					case <-ctx.Done():
+						t.Stop()
+					case <-t.C:
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runOpen fires Poisson arrivals at cfg.Rate, each handled by a slot from
+// a Workers-sized pool; arrivals with no free slot are dropped.
+func runOpen(ctx context.Context, cfg Config, col *collector) {
+	slots := make(chan struct{}, cfg.Workers)
+	arrivals := xrand.New(cfg.Seed)
+	src := xrand.New(cfg.Seed + 1)
+	var wg sync.WaitGroup
+	i := 0
+	for ctx.Err() == nil {
+		gap := time.Duration(arrivals.Exponential(1/cfg.Rate) * float64(time.Second))
+		t := time.NewTimer(gap)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+		case <-t.C:
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		req := cfg.NewRequest(i, src)
+		i++
+		select {
+		case slots <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-slots }()
+				issue(ctx, cfg, col, req)
+			}()
+		default:
+			col.mu.Lock()
+			col.sent++
+			col.dropped++
+			col.mu.Unlock()
+		}
+	}
+	wg.Wait()
+}

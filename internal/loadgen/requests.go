@@ -1,0 +1,35 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	"repro/internal/service"
+	"repro/internal/xrand"
+)
+
+// InvokeRequest returns a NewRequest builder producing POST /v1/invoke
+// calls against svc, with per-request text varied from the worker's RNG so
+// the facade's cache sees a controlled mix instead of one infinitely-hot
+// key. uniqueFrac in [0, 1] is the fraction of requests carrying a
+// never-repeating text (cache misses); the rest draw from a small hot set.
+func InvokeRequest(svc string, uniqueFrac float64) func(i int, src *xrand.Source) *http.Request {
+	return func(i int, src *xrand.Source) *http.Request {
+		var text string
+		if src.Bernoulli(uniqueFrac) {
+			text = fmt.Sprintf("unique-%d-%d", src.Int63(), i)
+		} else {
+			text = fmt.Sprintf("hot-%d", src.Intn(16))
+		}
+		body, _ := json.Marshal(map[string]any{
+			"service": svc,
+			"request": service.Request{Op: "analyze", Text: text},
+		})
+		req := httptest.NewRequest("POST", "/v1/invoke", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		return req
+	}
+}

@@ -18,38 +18,71 @@ import (
 	"time"
 
 	"repro/internal/kvstore"
+	"repro/internal/xrand"
 )
+
+// DefaultMaxObjectBytes bounds PUT payloads unless overridden with
+// WithMaxBytes. Real cloud stores reject oversized objects (S3: 5 GB per
+// single PUT) rather than silently truncating them.
+const DefaultMaxObjectBytes = 64 << 20
 
 // Server is a simulated cloud key-value store:
 //
-//	PUT    /kv/{key}   body -> 204
+//	PUT    /kv/{key}   body -> 204 | 413 when the body exceeds the object limit
 //	GET    /kv/{key}   -> 200 body | 404
 //	DELETE /kv/{key}   -> 204
 //	GET    /keys       -> JSON array of keys
 //
-// Latency and outages are injectable so experiments can script remote
+// Latency, outages, random 5xx bursts, and slow-drip response bodies are
+// injectable so experiments and the chaos controller can script remote
 // conditions.
 type Server struct {
-	store kvstore.Store
+	store    kvstore.Store
+	maxBytes int64
 
-	mu      sync.RWMutex
-	latency time.Duration
-	down    bool
+	mu        sync.Mutex // guards the chaos knobs and their shared RNG
+	latency   time.Duration
+	down      bool
+	failRate  float64
+	rng       *xrand.Source
+	dripChunk int
+	dripDelay time.Duration
 
 	requests atomic.Int64
 	bytesIn  atomic.Int64
 }
 
+// ServerOption configures optional server behaviour.
+type ServerOption func(*Server)
+
+// WithMaxBytes overrides the per-object PUT size limit.
+func WithMaxBytes(n int64) ServerOption {
+	return func(s *Server) { s.maxBytes = n }
+}
+
+// WithSeed seeds the server's fault-injection RNG (default seed 1), so
+// scripted 5xx bursts are reproducible run to run.
+func WithSeed(seed int64) ServerOption {
+	return func(s *Server) { s.rng = xrand.New(seed) }
+}
+
 // NewServer wraps store as a cloud store. A nil store gets a fresh
 // in-memory one.
-func NewServer(store kvstore.Store) *Server {
+func NewServer(store kvstore.Store, opts ...ServerOption) *Server {
 	if store == nil {
 		store = kvstore.NewMemory()
 	}
-	return &Server{store: store}
+	s := &Server{store: store, maxBytes: DefaultMaxObjectBytes, rng: xrand.New(1)}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
-// SetLatency injects a fixed service-side latency per request.
+// SetLatency injects a fixed service-side latency per request. The sleep
+// watches the request context, so a client that disconnects (or times out)
+// mid-latency releases its handler goroutine immediately instead of
+// pinning it for the full injected duration.
 func (s *Server) SetLatency(d time.Duration) {
 	s.mu.Lock()
 	s.latency = d
@@ -60,6 +93,23 @@ func (s *Server) SetLatency(d time.Duration) {
 func (s *Server) SetDown(down bool) {
 	s.mu.Lock()
 	s.down = down
+	s.mu.Unlock()
+}
+
+// SetFailRate scripts a random-5xx burst: each request independently fails
+// with 503 with probability p, drawn from the server's seeded RNG.
+func (s *Server) SetFailRate(p float64) {
+	s.mu.Lock()
+	s.failRate = p
+	s.mu.Unlock()
+}
+
+// SetSlowDrip makes GET /kv/{key} responses drip out in chunk-byte writes
+// separated by delay — the classic misbehaving-backend mode that holds
+// client connections open. chunk <= 0 or delay <= 0 disables dripping.
+func (s *Server) SetSlowDrip(chunk int, delay time.Duration) {
+	s.mu.Lock()
+	s.dripChunk, s.dripDelay = chunk, delay
 	s.mu.Unlock()
 }
 
@@ -76,13 +126,23 @@ func (s *Server) Handler() http.Handler {
 	wrap := func(fn http.HandlerFunc) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
 			s.requests.Add(1)
-			s.mu.RLock()
+			s.mu.Lock()
 			lat, down := s.latency, s.down
-			s.mu.RUnlock()
+			fail := s.failRate > 0 && s.rng.Bernoulli(s.failRate)
+			s.mu.Unlock()
 			if lat > 0 {
-				time.Sleep(lat)
+				// Sleep on a timer racing the request context: a
+				// disconnected or cancelled client must not pin this
+				// goroutine for the whole injected latency.
+				t := time.NewTimer(lat)
+				select {
+				case <-r.Context().Done():
+					t.Stop()
+					return
+				case <-t.C:
+				}
 			}
-			if down {
+			if down || fail {
 				http.Error(w, "store unavailable", http.StatusServiceUnavailable)
 				return
 			}
@@ -90,9 +150,16 @@ func (s *Server) Handler() http.Handler {
 		}
 	}
 	mux.HandleFunc("PUT /kv/{key}", wrap(func(w http.ResponseWriter, r *http.Request) {
-		data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+		// Read one byte past the limit: landing there means the body is
+		// oversized, and the correct answer is 413, not a silently
+		// truncated object stored with success.
+		data, err := io.ReadAll(io.LimitReader(r.Body, s.maxBytes+1))
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if int64(len(data)) > s.maxBytes {
+			http.Error(w, fmt.Sprintf("object exceeds %d-byte limit", s.maxBytes), http.StatusRequestEntityTooLarge)
 			return
 		}
 		s.bytesIn.Add(int64(len(data)))
@@ -109,7 +176,39 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
-		_, _ = w.Write(data)
+		s.mu.Lock()
+		chunk, delay := s.dripChunk, s.dripDelay
+		s.mu.Unlock()
+		if chunk <= 0 || delay <= 0 {
+			_, _ = w.Write(data)
+			return
+		}
+		// Slow-drip mode: emit the body chunk by chunk, flushing between
+		// writes, bailing out if the client goes away.
+		fl, _ := w.(http.Flusher)
+		for len(data) > 0 {
+			n := chunk
+			if n > len(data) {
+				n = len(data)
+			}
+			if _, err := w.Write(data[:n]); err != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+			data = data[n:]
+			if len(data) == 0 {
+				return
+			}
+			t := time.NewTimer(delay)
+			select {
+			case <-r.Context().Done():
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		}
 	}))
 	mux.HandleFunc("DELETE /kv/{key}", wrap(func(w http.ResponseWriter, r *http.Request) {
 		if err := s.store.Delete(r.PathValue("key")); err != nil {

@@ -1,0 +1,159 @@
+package remotestore
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLatencyCancelReleasesHandler is the regression test for the
+// context-blind latency sleep: with a 2s injected latency and a client that
+// is already gone, the handler must return almost immediately instead of
+// pinning its goroutine for the full injected duration. On the pre-fix code
+// (bare time.Sleep) this test times out the 500ms budget.
+func TestLatencyCancelReleasesHandler(t *testing.T) {
+	srv := NewServer(nil)
+	srv.SetLatency(2 * time.Second)
+	h := srv.Handler()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client has already disconnected
+	req := httptest.NewRequest("GET", "/kv/some-key", nil).WithContext(ctx)
+
+	start := time.Now()
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if el := time.Since(start); el > 500*time.Millisecond {
+		t.Fatalf("handler held for %v after client cancel; want near-immediate return", el)
+	}
+}
+
+// TestPutOversizedRejected413 is the regression test for silent
+// truncation: a body over the object limit must be rejected with 413 and
+// must NOT be stored. On the pre-fix code the server stored the first
+// maxBytes bytes and answered success.
+func TestPutOversizedRejected413(t *testing.T) {
+	srv := NewServer(nil, WithMaxBytes(1024))
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	big := bytes.Repeat([]byte("x"), 2048)
+	req, _ := http.NewRequest("PUT", hs.URL+"/kv/big", bytes.NewReader(big))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized PUT status = %d, want 413", resp.StatusCode)
+	}
+	if got, _ := http.Get(hs.URL + "/kv/big"); got.StatusCode != http.StatusNotFound {
+		t.Fatalf("oversized object was stored (GET = %d), want 404", got.StatusCode)
+	}
+	if n := srv.BytesIn(); n != 0 {
+		t.Errorf("rejected payload counted toward BytesIn (%d), want 0", n)
+	}
+}
+
+// TestPutExactLimitRoundTrips pins the boundary: a body of exactly the
+// limit is accepted and round-trips byte-identically.
+func TestPutExactLimitRoundTrips(t *testing.T) {
+	srv := NewServer(nil, WithMaxBytes(1024))
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	body := bytes.Repeat([]byte("y"), 1024)
+	req, _ := http.NewRequest("PUT", hs.URL+"/kv/edge", bytes.NewReader(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("exact-limit PUT status = %d, want 204", resp.StatusCode)
+	}
+	got, err := http.Get(hs.URL + "/kv/edge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(got.Body)
+	got.Body.Close()
+	if !bytes.Equal(data, body) {
+		t.Fatalf("round-trip mismatch: got %d bytes, want %d identical bytes", len(data), len(body))
+	}
+}
+
+// TestServerFailRateInjection scripts a random-5xx burst and verifies it is
+// total at rate 1, absent at rate 0, and deterministic under a fixed seed.
+func TestServerFailRateInjection(t *testing.T) {
+	srv := NewServer(nil, WithSeed(42))
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	put := func(k string) int {
+		req, _ := http.NewRequest("PUT", hs.URL+"/kv/"+k, strings.NewReader("v"))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	srv.SetFailRate(1)
+	if code := put("a"); code != http.StatusServiceUnavailable {
+		t.Fatalf("at failrate 1 status = %d, want 503", code)
+	}
+	srv.SetFailRate(0)
+	if code := put("b"); code != http.StatusNoContent {
+		t.Fatalf("at failrate 0 status = %d, want 204", code)
+	}
+}
+
+// TestSlowDripBody verifies the slow-drip chaos mode: the full body still
+// arrives, but paced across inter-chunk delays.
+func TestSlowDripBody(t *testing.T) {
+	srv := NewServer(nil)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	body := bytes.Repeat([]byte("d"), 64)
+	req, _ := http.NewRequest("PUT", hs.URL+"/kv/drip", bytes.NewReader(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	srv.SetSlowDrip(16, 5*time.Millisecond) // 64 bytes => 4 chunks, 3 delays
+	start := time.Now()
+	got, err := http.Get(hs.URL + "/kv/drip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(got.Body)
+	got.Body.Close()
+	el := time.Since(start)
+	if !bytes.Equal(data, body) {
+		t.Fatalf("dripped body mismatch: got %d bytes", len(data))
+	}
+	if el < 12*time.Millisecond {
+		t.Errorf("dripped GET took %v, want >= ~15ms across 3 inter-chunk delays", el)
+	}
+
+	srv.SetSlowDrip(0, 0)
+	got2, err := http.Get(hs.URL + "/kv/drip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, _ := io.ReadAll(got2.Body)
+	got2.Body.Close()
+	if !bytes.Equal(data2, body) {
+		t.Fatalf("post-drip body mismatch")
+	}
+}

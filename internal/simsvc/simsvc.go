@@ -94,6 +94,15 @@ type Config struct {
 	HangDuration time.Duration
 	// Quota, if non-nil, is consumed on every invocation attempt.
 	Quota *service.Quota
+	// Capacity bounds how many invocations are serviced concurrently,
+	// modeling a backend with finite parallelism: excess invocations
+	// queue for a slot before their latency elapses, so observed latency
+	// grows with offered load once demand exceeds Capacity — the
+	// saturation behavior real cognitive services exhibit and the load
+	// experiments attack. Zero means unlimited (latency independent of
+	// load, the pre-chaos behavior). Queued waiters respect context
+	// cancellation.
+	Capacity int
 	// Seed seeds the service's private RNG. Services with the same seed
 	// and request stream behave identically.
 	Seed int64
@@ -108,12 +117,16 @@ type Config struct {
 // Service is a simulated remote service. It implements service.Service and
 // is safe for concurrent use.
 type Service struct {
-	cfg Config
-	clk clock.Clock
+	cfg   Config
+	clk   clock.Clock
+	slots chan struct{} // capacity semaphore; nil when unlimited
 
-	mu   sync.Mutex // guards rng and down
-	rng  *xrand.Source
-	down bool
+	mu       sync.Mutex // guards rng and the mutable chaos knobs below
+	rng      *xrand.Source
+	down     bool
+	latency  LatencyModel
+	extraLat time.Duration
+	failRate float64
 
 	invocations int64
 }
@@ -129,12 +142,18 @@ func New(cfg Config) *Service {
 	if cfg.HangDuration == 0 {
 		cfg.HangDuration = 30 * time.Second
 	}
-	return &Service{
-		cfg:  cfg,
-		clk:  clk,
-		rng:  xrand.New(cfg.Seed),
-		down: cfg.Down,
+	s := &Service{
+		cfg:      cfg,
+		clk:      clk,
+		rng:      xrand.New(cfg.Seed),
+		down:     cfg.Down,
+		latency:  cfg.Latency,
+		failRate: cfg.FailRate,
 	}
+	if cfg.Capacity > 0 {
+		s.slots = make(chan struct{}, cfg.Capacity)
+	}
+	return s
 }
 
 // Info implements service.Service.
@@ -148,6 +167,32 @@ func (s *Service) SetDown(down bool) {
 	s.mu.Unlock()
 }
 
+// SetFailRate rescripts the transient-failure probability at runtime, so a
+// chaos controller can inject 5xx bursts mid-run. The RNG stream is shared
+// with the construction-time FailRate, so a service whose rate never
+// changes behaves bit-identically to one built with that rate.
+func (s *Service) SetFailRate(p float64) {
+	s.mu.Lock()
+	s.failRate = p
+	s.mu.Unlock()
+}
+
+// SetLatencyModel replaces the latency model at runtime (a chaos latency
+// regime change). A nil model means zero latency.
+func (s *Service) SetLatencyModel(m LatencyModel) {
+	s.mu.Lock()
+	s.latency = m
+	s.mu.Unlock()
+}
+
+// SetExtraLatency injects a fixed additive latency spike on top of the
+// model's sample for every subsequent invocation. Zero clears the spike.
+func (s *Service) SetExtraLatency(d time.Duration) {
+	s.mu.Lock()
+	s.extraLat = d
+	s.mu.Unlock()
+}
+
 // Invocations returns how many invocations have been attempted.
 func (s *Service) Invocations() int64 {
 	s.mu.Lock()
@@ -155,18 +200,19 @@ func (s *Service) Invocations() int64 {
 	return s.invocations
 }
 
-// Invoke implements service.Service: it enforces the quota, samples and
-// waits out the latency, injects failures and hangs, and finally delegates
-// to the handler.
+// Invoke implements service.Service: it enforces the quota, queues for a
+// capacity slot, samples and waits out the latency, injects failures and
+// hangs, and finally delegates to the handler.
 func (s *Service) Invoke(ctx context.Context, req service.Request) (service.Response, error) {
 	s.mu.Lock()
 	s.invocations++
 	down := s.down
 	lat := time.Duration(0)
-	if s.cfg.Latency != nil {
-		lat = s.cfg.Latency.Sample(req, s.rng)
+	if s.latency != nil {
+		lat = s.latency.Sample(req, s.rng)
 	}
-	fail := s.cfg.FailRate > 0 && s.rng.Bernoulli(s.cfg.FailRate)
+	lat += s.extraLat
+	fail := s.failRate > 0 && s.rng.Bernoulli(s.failRate)
 	hang := s.cfg.HangRate > 0 && s.rng.Bernoulli(s.cfg.HangRate)
 	s.mu.Unlock()
 
@@ -175,6 +221,14 @@ func (s *Service) Invoke(ctx context.Context, req service.Request) (service.Resp
 	}
 	if s.cfg.Quota != nil && !s.cfg.Quota.Take() {
 		return service.Response{}, fmt.Errorf("simsvc: %s: %w", s.cfg.Info.Name, service.ErrQuotaExceeded)
+	}
+	if s.slots != nil {
+		select {
+		case s.slots <- struct{}{}:
+			defer func() { <-s.slots }()
+		case <-ctx.Done():
+			return service.Response{}, fmt.Errorf("simsvc: %s: queued at capacity: %w", s.cfg.Info.Name, ctx.Err())
+		}
 	}
 	if hang {
 		select {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -250,5 +251,118 @@ func TestServiceNilHandlerEmptyResponse(t *testing.T) {
 	resp, err := svc.Invoke(context.Background(), service.Request{})
 	if err != nil || resp.Body != nil {
 		t.Errorf("Invoke = (%v, %v), want empty response", resp, err)
+	}
+}
+
+func TestServiceRuntimeChaosSetters(t *testing.T) {
+	s := New(Config{Info: service.Info{Name: "c"}, Seed: 7})
+	ctx := context.Background()
+
+	// Baseline: no latency, no failures.
+	if _, err := s.Invoke(ctx, service.Request{}); err != nil {
+		t.Fatalf("baseline Invoke: %v", err)
+	}
+
+	// A scripted 5xx burst: every call fails until the rate is cleared.
+	s.SetFailRate(1)
+	if _, err := s.Invoke(ctx, service.Request{}); !errors.Is(err, service.ErrUnavailable) {
+		t.Fatalf("under failrate 1 want ErrUnavailable, got %v", err)
+	}
+	s.SetFailRate(0)
+	if _, err := s.Invoke(ctx, service.Request{}); err != nil {
+		t.Fatalf("after clearing failrate: %v", err)
+	}
+
+	// A latency regime change plus an additive spike, observed on a
+	// virtual clock via context cancellation: with 5ms model + 10ms
+	// extra, a 1ms-deadline call must be cut short by its context.
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	s2 := New(Config{Info: service.Info{Name: "c2"}, Seed: 7, Clock: clk})
+	s2.SetLatencyModel(Constant{D: 5 * time.Millisecond})
+	s2.SetExtraLatency(10 * time.Millisecond)
+	cctx, cancel := context.WithCancel(ctx)
+	done := make(chan error, 1)
+	go func() {
+		_, err := s2.Invoke(cctx, service.Request{})
+		done <- err
+	}()
+	for clk.Pending() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("spiked call: want context.Canceled, got %v", err)
+	}
+	// Clearing both knobs restores the instant path.
+	s2.SetLatencyModel(nil)
+	s2.SetExtraLatency(0)
+	if _, err := s2.Invoke(ctx, service.Request{}); err != nil {
+		t.Fatalf("after clearing latency knobs: %v", err)
+	}
+}
+
+func TestServiceCapacityQueueing(t *testing.T) {
+	// Capacity 1 with a real 20ms service time: two concurrent calls must
+	// serialize, so the pair takes >= ~2x the single-call latency.
+	s := New(Config{
+		Info:     service.Info{Name: "cap"},
+		Latency:  Constant{D: 20 * time.Millisecond},
+		Capacity: 1,
+		Seed:     1,
+	})
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Invoke(context.Background(), service.Request{}); err != nil {
+				t.Errorf("Invoke: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if el := time.Since(start); el < 35*time.Millisecond {
+		t.Errorf("2 calls through capacity 1 finished in %v, want >= ~40ms (queueing)", el)
+	}
+}
+
+func TestServiceCapacityQueueRespectsContext(t *testing.T) {
+	// One call holds the only slot (hung on a virtual clock); a second
+	// call queued for the slot must abort when its context is cancelled.
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	s := New(Config{
+		Info:     service.Info{Name: "cap"},
+		Latency:  Constant{D: time.Hour},
+		Capacity: 1,
+		Seed:     1,
+		Clock:    clk,
+	})
+	holder := make(chan error, 1)
+	go func() {
+		_, err := s.Invoke(context.Background(), service.Request{})
+		holder <- err
+	}()
+	for clk.Pending() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	queued := make(chan error, 1)
+	go func() {
+		_, err := s.Invoke(ctx, service.Request{})
+		queued <- err
+	}()
+	time.Sleep(2 * time.Millisecond) // let the second call reach the queue
+	cancel()
+	err := <-queued
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued call: want context.Canceled, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "queued at capacity") {
+		t.Errorf("queued call error %q should mention the capacity queue", err)
+	}
+	clk.Advance(time.Hour)
+	if err := <-holder; err != nil {
+		t.Fatalf("holder: %v", err)
 	}
 }
