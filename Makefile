@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check cover bench bench-rdf bench-search bench-nlu bench-metrics bench-chaos loadgen-smoke fmt fmt-check
+.PHONY: build test vet race check cover bench bench-rdf bench-search bench-nlu bench-metrics bench-chaos bench-cloud loadgen-smoke cloud-smoke fmt fmt-check
 
 build:
 	$(GO) build ./...
@@ -23,14 +23,16 @@ race:
 
 # check is the pre-merge gate. loadgen-smoke drives the facade through a
 # short saturating burst with adaptive shedding on, catching harness or
-# admission-control regressions the unit tests can miss.
-check: fmt-check vet race loadgen-smoke
+# admission-control regressions the unit tests can miss; cloud-smoke runs
+# the sharded-store experiment at reduced scale with value verification
+# on every read, catching placement or replication regressions.
+check: fmt-check vet race loadgen-smoke cloud-smoke
 
 # cover runs the full suite with per-package coverage percentages.
 cover:
 	$(GO) test -cover ./...
 
-# bench runs the experiment benchmarks (E1–E20, A1–A4) from bench_test.go
+# bench runs the experiment benchmarks (E1–E22, A1–A4) from bench_test.go
 # plus the cache micro-benchmarks (BenchmarkCacheHitParallel compares the
 # single-mutex and sharded stores at 1/8/64-goroutine parallelism).
 # Narrow with BENCH, e.g. `make bench BENCH=BenchmarkE1Caching` or
@@ -79,11 +81,25 @@ bench-metrics:
 bench-chaos:
 	$(GO) run ./cmd/benchmark -run E21
 
+# bench-cloud runs the sharded cloud store experiment (E22) at full
+# scale: 1/2/4/8 capacity-limited store nodes behind the consistent-hash
+# cluster client, measuring aggregate write/read throughput and p99, then
+# killing one node mid-read-storm to measure served availability.
+bench-cloud:
+	$(GO) run ./cmd/benchmark -run E22
+
 # loadgen-smoke is a deterministic half-second saturating burst through
 # the in-process rig; it exits non-zero if the harness sends nothing,
 # produces zero goodput, or the shed stage rejects nothing.
 loadgen-smoke:
 	$(GO) run ./cmd/loadgen -smoke
+
+# cloud-smoke is E22 at reduced scale as a correctness gate: every read
+# verifies the stored value through the sharded client, so a placement,
+# quorum, or failover bug exits non-zero. Timing columns at this scale
+# are indicative only.
+cloud-smoke:
+	$(GO) run ./cmd/benchmark -run E22 -scale 0.15
 
 fmt:
 	gofmt -w .

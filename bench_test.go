@@ -32,7 +32,7 @@ import (
 )
 
 // Each benchmark regenerates one experiment table from DESIGN.md's
-// per-experiment index (E1-E15 reproduce paper claims; E16-E21 measure
+// per-experiment index (E1-E15 reproduce paper claims; E16-E22 measure
 // this repo's own engines; A1-A4 are design ablations). Benchmarks run
 // the experiment at a reduced scale per
 // iteration; run cmd/benchmark for full-scale tables.
@@ -87,6 +87,7 @@ func BenchmarkE18SearchScaling(b *testing.B)  { benchExperiment(b, "E18") }
 func BenchmarkE19NLUIngest(b *testing.B)      { benchExperiment(b, "E19") }
 func BenchmarkE20MetricsCost(b *testing.B)    { benchExperiment(b, "E20") }
 func BenchmarkE21Chaos(b *testing.B)          { benchExperiment(b, "E21") }
+func BenchmarkE22CloudStore(b *testing.B)     { benchExperiment(b, "E22") }
 func BenchmarkA1CacheAblation(b *testing.B)   { benchExperiment(b, "A1") }
 func BenchmarkA2ScoreAblation(b *testing.B)   { benchExperiment(b, "A2") }
 func BenchmarkA3PredictAblation(b *testing.B) { benchExperiment(b, "A3") }
@@ -99,8 +100,8 @@ func TestEveryExperimentHasABenchmark(t *testing.T) {
 		"E6": true, "E7": true, "E8": true, "E9": true, "E10": true,
 		"E11": true, "E12": true, "E13": true, "E14": true, "E15": true,
 		"E16": true, "E17": true, "E18": true, "E19": true, "E20": true,
-		"E21": true,
-		"A1":  true, "A2": true, "A3": true, "A4": true,
+		"E21": true, "E22": true,
+		"A1": true, "A2": true, "A3": true, "A4": true,
 	}
 	for _, e := range experiments.All() {
 		if !covered[e.ID] {

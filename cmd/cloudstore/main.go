@@ -2,11 +2,24 @@
 // enhanced data store client (paper §3 and [11]). Latency injection makes
 // remote conditions reproducible.
 //
-// Usage:
+// With no -nodes flag it serves a single store node:
 //
 //	cloudstore -addr :8090 -latency 20ms
 //
-// Endpoints: PUT/GET/DELETE /kv/{key}, GET /keys.
+// With -nodes it instead runs a sharded gateway in front of existing
+// store nodes: keys are placed on a consistent-hash ring, writes fan out
+// to -replicas successors and return after -write-quorum acks, and reads
+// fail over across replicas:
+//
+//	cloudstore -addr :8080 \
+//	    -nodes http://localhost:8090,http://localhost:8091,http://localhost:8092 \
+//	    -replicas 2 -write-quorum 2
+//
+// Endpoints (both modes): PUT/GET/DELETE /kv/{key}, GET /keys — so the
+// gateway speaks the same wire protocol as a node and a plain client can
+// point at either. The gateway adds POST /sync, GET /cluster (membership
+// and breaker states), and GET /metrics (per-node request/error counters,
+// fan-out and replication-lag histograms, ring and pending-write gauges).
 package main
 
 import (
@@ -15,9 +28,11 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/kvstore"
+	"repro/internal/metrics"
 	"repro/internal/remotestore"
 )
 
@@ -31,10 +46,20 @@ func main() {
 func run() error {
 	var (
 		addr    = flag.String("addr", ":8090", "listen address")
-		latency = flag.Duration("latency", 0, "injected per-request latency")
-		file    = flag.String("file", "", "persist to this file (empty = in-memory)")
+		latency = flag.Duration("latency", 0, "injected per-request latency (node mode)")
+		file    = flag.String("file", "", "persist to this file (empty = in-memory, node mode)")
+		nodes   = flag.String("nodes", "", "comma-separated store node URLs; non-empty switches to gateway mode")
+		repl    = flag.Int("replicas", 2, "R: replicas per key (gateway mode)")
+		quorum  = flag.Int("write-quorum", 0, "W: acks a write waits for, 0 = R (gateway mode)")
+		vnodes  = flag.Int("vnodes", 0, "virtual nodes per member on the ring, 0 = default (gateway mode)")
+		seed    = flag.Uint64("seed", 0, "ring placement seed; all gateways of one cluster must agree")
 	)
 	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	if *nodes != "" {
+		return runGateway(logger, *addr, strings.Split(*nodes, ","), *repl, *quorum, *vnodes, *seed)
+	}
 
 	var store kvstore.Store
 	if *file != "" {
@@ -48,11 +73,43 @@ func run() error {
 	}
 	srv := remotestore.NewServer(store)
 	srv.SetLatency(*latency)
-	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
-	logger.Info("cloud store listening", "addr", *addr, "latency", *latency, "file", *file)
+	logger.Info("cloud store node listening", "addr", *addr, "latency", *latency, "file", *file)
+	return serve(*addr, srv.Handler())
+}
+
+func runGateway(logger *slog.Logger, addr string, urls []string, replicas, quorum, vnodes int, seed uint64) error {
+	for i, u := range urls {
+		urls[i] = strings.TrimSpace(u)
+	}
+	set := metrics.NewSet()
+	cl, err := remotestore.NewCluster(remotestore.ClusterConfig{
+		Nodes:        urls,
+		Replicas:     replicas,
+		WriteQuorum:  quorum,
+		VirtualNodes: vnodes,
+		Seed:         seed,
+		Metrics:      set,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", cl.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		set.Expose(metrics.NewTextWriter(w))
+	})
+	logger.Info("cloud store gateway listening", "addr", addr, "nodes", urls,
+		"replicas", cl.Replicas(), "write_quorum", cl.WriteQuorum())
+	return serve(addr, mux)
+}
+
+func serve(addr string, h http.Handler) error {
 	hs := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Addr:              addr,
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	return hs.ListenAndServe()

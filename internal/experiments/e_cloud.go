@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/failover"
+	"repro/internal/remotestore"
+)
+
+// E22 — sharded cloud store: aggregate throughput and p99 vs node count,
+// with one node killed mid-run. Each store node models a finite backend
+// (capacity-4 worker pool, 2ms service time ⇒ ~2000 req/s per node), so
+// aggregate throughput is governed by node count rather than by how fast
+// one in-process handler can spin. The claim under test is the sharding
+// story: consistent-hash placement with R=2 replication scales write
+// throughput like N/R and read throughput like N, and — the availability
+// half — killing one node mid-read-storm costs zero served reads for
+// N >= 2 (failover to replicas), versus the N=1 baseline where every
+// post-kill read is lost.
+
+const (
+	// e22Capacity and e22Latency define one node's service model:
+	// capacity/latency = ~2000 req/s per node.
+	e22Capacity = 4
+	e22Latency  = 2 * time.Millisecond
+	// e22Writers is the closed-loop client concurrency; enough to
+	// saturate 8 nodes (8 * capacity = 32 in-flight).
+	e22Writers = 32
+)
+
+// E22Row is one node-count configuration's outcome.
+type E22Row struct {
+	Nodes    int
+	Replicas int
+	Quorum   int
+	// Write and read phases: aggregate ops/s and client-observed p99.
+	WriteRate float64
+	WriteP99  time.Duration
+	ReadRate  float64
+	ReadP99   time.Duration
+	// Kill phase: fraction of reads served while one node dies mid-run.
+	KillServed float64
+	KillReads  int
+	Failovers  int64
+	// KilledBreaker is the dead node's breaker state at phase end —
+	// "open" is the machinery visibly routing around the corpse.
+	KilledBreaker string
+}
+
+// e22Rig is one node-count configuration under test.
+type e22Rig struct {
+	cluster *remotestore.Cluster
+	servers []*remotestore.Server
+	urls    []string
+}
+
+func newE22Rig(n int) (*e22Rig, func(), error) {
+	rig := &e22Rig{}
+	var closers []func()
+	for i := 0; i < n; i++ {
+		srv := remotestore.NewServer(nil, remotestore.WithCapacity(e22Capacity))
+		srv.SetLatency(e22Latency)
+		hs := httptest.NewServer(srv.Handler())
+		closers = append(closers, hs.Close)
+		rig.servers = append(rig.servers, srv)
+		rig.urls = append(rig.urls, hs.URL)
+	}
+	replicas := 2
+	if replicas > n {
+		replicas = n
+	}
+	cl, err := remotestore.NewCluster(remotestore.ClusterConfig{
+		Nodes:    rig.urls,
+		Replicas: replicas,
+		Seed:     1,
+		Workers:  2 * e22Writers,
+		// CacheSize 0: reads must hit nodes or the experiment measures
+		// the client cache, not the cluster.
+		CacheSize: 0,
+		Retry:     failover.RetryPolicy{MaxAttempts: 2, Backoff: time.Millisecond, Jitter: failover.FullJitter},
+		Breaker:   core.BreakerConfig{Threshold: 4, Cooldown: 300 * time.Millisecond},
+	})
+	if err != nil {
+		for _, c := range closers {
+			c()
+		}
+		return nil, nil, err
+	}
+	rig.cluster = cl
+	cleanup := func() {
+		cl.Close()
+		for _, c := range closers {
+			c()
+		}
+	}
+	return rig, cleanup, nil
+}
+
+// e22Drive runs ops operations through fn from e22Writers closed-loop
+// workers and returns the aggregate rate and client-observed p99. fn
+// receives the operation index.
+func e22Drive(ops int, fn func(i int) error) (rate float64, p99 time.Duration, firstErr error) {
+	var (
+		mu   sync.Mutex
+		lats = make([]time.Duration, 0, ops)
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < e22Writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= ops {
+					return
+				}
+				t0 := time.Now()
+				err := fn(i)
+				lat := time.Since(t0)
+				mu.Lock()
+				lats = append(lats, lat)
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if len(lats) > 0 {
+		p99 = lats[(len(lats)*99)/100]
+	}
+	return float64(ops) / elapsed.Seconds(), p99, firstErr
+}
+
+// e22RunOne measures one node count end to end.
+func e22RunOne(scale Scale, n int) (E22Row, error) {
+	rig, cleanup, err := newE22Rig(n)
+	if err != nil {
+		return E22Row{}, err
+	}
+	defer cleanup()
+	cl := rig.cluster
+	row := E22Row{Nodes: n, Replicas: cl.Replicas(), Quorum: cl.WriteQuorum()}
+
+	writeOps := scale.n(240)
+	readOps := scale.n(480)
+	killReads := scale.n(240)
+	if killReads < 40 {
+		killReads = 40 // enough reads on both sides of the kill
+	}
+	value := func(i int) string { return fmt.Sprintf("value-%d", i) }
+	key := func(i int) string { return fmt.Sprintf("key-%03d", i%writeOps) }
+
+	// Write phase: distinct keys, replicated, quorum-acknowledged.
+	row.WriteRate, row.WriteP99, err = e22Drive(writeOps, func(i int) error {
+		return cl.Put(key(i), []byte(value(i)))
+	})
+	if err != nil {
+		return row, fmt.Errorf("E22 write phase (n=%d): %w", n, err)
+	}
+	if cl.Offline() {
+		return row, fmt.Errorf("E22 write phase (n=%d): cluster went offline", n)
+	}
+
+	// Read phase: round-robin over the keys, verifying values — the
+	// correctness gate that makes reduced-scale runs a real smoke test.
+	row.ReadRate, row.ReadP99, err = e22Drive(readOps, func(i int) error {
+		got, gerr := cl.Get(key(i))
+		if gerr != nil {
+			return gerr
+		}
+		if string(got) != value(i%writeOps) {
+			return fmt.Errorf("key %s = %q, want %q", key(i), got, value(i%writeOps))
+		}
+		return nil
+	})
+	if err != nil {
+		return row, fmt.Errorf("E22 read phase (n=%d): %w", n, err)
+	}
+
+	// Kill phase: keep reading while node 0 dies halfway through. Served
+	// = correct value returned; for N >= 2 every key has a live replica,
+	// so the machinery owes the caller 100%.
+	var served, issued atomic.Int64
+	half := int64(killReads / 2)
+	beforeFailovers := cl.Stats().ReadFailovers
+	_, _, _ = e22Drive(killReads, func(i int) error {
+		if issued.Add(1) == half {
+			rig.servers[0].SetDown(true)
+		}
+		got, gerr := cl.Get(key(i))
+		if gerr == nil && string(got) == value(i%writeOps) {
+			served.Add(1)
+		}
+		return nil // availability is the measurement, not an error
+	})
+	row.KillReads = killReads
+	row.KillServed = float64(served.Load()) / float64(killReads)
+	row.Failovers = cl.Stats().ReadFailovers - beforeFailovers
+	for _, st := range cl.BreakerStates() {
+		if st.Service == rig.urls[0] {
+			row.KilledBreaker = st.State
+		}
+	}
+	if row.KilledBreaker == "" {
+		row.KilledBreaker = "-"
+	}
+	return row, nil
+}
+
+// RunE22 runs the sharded-cloud-store experiment at the given scale and
+// returns the structured results plus the printable table.
+func RunE22(scale Scale) ([]E22Row, Table, error) {
+	counts := []int{1, 2, 4, 8}
+	rows := make([]E22Row, 0, len(counts))
+	for _, n := range counts {
+		row, err := e22RunOne(scale, n)
+		if err != nil {
+			return rows, Table{}, err
+		}
+		rows = append(rows, row)
+	}
+	table := Table{
+		ID:    "E22",
+		Title: "sharded cloud store, throughput and kill availability vs node count",
+		Claim: "consistent-hash sharding with R=2 replicated fan-out scales write throughput ~N/R and read throughput ~N over capacity-limited nodes, and killing one node mid-run costs zero read availability for N >= 2",
+		Header: []string{"nodes", "R", "W", "write ops/s", "wr p99", "read ops/s", "rd p99",
+			"kill reads", "served", "failovers", "dead breaker"},
+	}
+	for _, r := range rows {
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%d", r.Replicas),
+			fmt.Sprintf("%d", r.Quorum),
+			fmt.Sprintf("%.0f", r.WriteRate),
+			fmtMS(r.WriteP99),
+			fmt.Sprintf("%.0f", r.ReadRate),
+			fmtMS(r.ReadP99),
+			fmt.Sprintf("%d", r.KillReads),
+			fmt.Sprintf("%.0f%%", 100*r.KillServed),
+			fmt.Sprintf("%d", r.Failovers),
+			r.KilledBreaker,
+		})
+	}
+	base := rows[0]
+	last := rows[len(rows)-1]
+	table.Notes = fmt.Sprintf(
+		"8-node gains vs 1 node: writes %.1fx (ideal %d/R = %.0fx), reads %.1fx (ideal 8x); kill-phase reads served at N>=2: %.0f%%/%.0f%%/%.0f%% vs %.0f%% at N=1",
+		last.WriteRate/base.WriteRate, last.Nodes, float64(last.Nodes)/float64(last.Replicas),
+		last.ReadRate/base.ReadRate,
+		100*rows[1].KillServed, 100*rows[2].KillServed, 100*rows[3].KillServed,
+		100*base.KillServed)
+	return rows, table, nil
+}

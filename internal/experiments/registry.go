@@ -36,6 +36,7 @@ func All() []Entry {
 		{"E19", "streaming NLU ingest, interned hot path vs reference", func(s Scale) (Table, error) { _, t, err := RunE19(s); return t, err }},
 		{"E20", "instrument cost, counters/gauges/histograms", func(s Scale) (Table, error) { _, t, err := RunE20(s); return t, err }},
 		{"E21", "chaos storm, adaptive load shedding", func(s Scale) (Table, error) { _, _, t, err := RunE21(s); return t, err }},
+		{"E22", "sharded cloud store, throughput and kill availability vs node count", func(s Scale) (Table, error) { _, t, err := RunE22(s); return t, err }},
 		{"A1", "cache design ablation", func(s Scale) (Table, error) { _, t, err := RunA1(s); return t, err }},
 		{"A2", "scoring formula ablation", func(s Scale) (Table, error) { _, t, err := RunA2(s); return t, err }},
 		{"A3", "latency predictor ablation", func(s Scale) (Table, error) { _, t, err := RunA3(s); return t, err }},

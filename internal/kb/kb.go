@@ -42,9 +42,10 @@ type Config struct {
 	Passphrase string
 	// Compress gzip-compresses persisted payloads (before encryption).
 	Compress bool
-	// Remote, if non-nil, is the enhanced cloud store client used by
-	// SaveRemote/LoadRemote.
-	Remote *remotestore.Client
+	// Remote, if non-nil, is the cloud store used by SaveRemote/
+	// LoadRemote — a single-node *remotestore.Client or a sharded
+	// *remotestore.Cluster, behind the same Store interface.
+	Remote remotestore.Store
 	// Dictionary overrides the spell-check dictionary. Nil uses the
 	// built-in lexicon dictionary.
 	Dictionary []string

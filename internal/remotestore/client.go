@@ -1,13 +1,10 @@
 package remotestore
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
-	"sort"
 	"sync"
 	"time"
 
@@ -23,14 +20,34 @@ var ErrNotFound = errors.New("remotestore: not found")
 // client is offline and no local fallback exists.
 var ErrOffline = errors.New("remotestore: offline")
 
-// Stats counts client activity.
+// Store is the enhanced data store surface shared by the single-node
+// Client and the sharded Cluster, so kb/docstore callers can take either
+// without caring how many servers sit behind it.
+type Store interface {
+	Put(key string, value []byte) error
+	Get(key string) ([]byte, error)
+	Delete(key string) error
+	Keys() ([]string, error)
+	Sync() (int, error)
+	SetOffline(offline bool)
+	Offline() bool
+	PendingWrites() int
+}
+
+var _ Store = (*Client)(nil)
+
+// Stats counts client activity. ReadFailovers is only meaningful for the
+// Cluster (reads served by a non-primary replica); it stays zero on the
+// single-node Client.
 type Stats struct {
 	RemoteGets    int64
 	RemotePuts    int64
 	CacheHits     int64
 	OfflineWrites int64
 	SyncedWrites  int64
+	DroppedWrites int64
 	BytesSent     int64
+	ReadFailovers int64
 }
 
 // ClientConfig configures an enhanced data store client.
@@ -50,6 +67,10 @@ type ClientConfig struct {
 	Local kvstore.Store
 	// Timeout bounds each HTTP request. 0 means 10 seconds.
 	Timeout time.Duration
+	// MaxPending caps the offline write-back queue (distinct keys).
+	// 0 means DefaultMaxPending; negative means unbounded (the pre-cap
+	// behaviour, for callers that would rather grow than drop).
+	MaxPending int
 }
 
 // pendingWrite is one write queued while offline.
@@ -62,9 +83,9 @@ type pendingWrite struct {
 
 // Client is the enhanced data store client. It is safe for concurrent use.
 type Client struct {
-	cfg  ClientConfig
-	http *http.Client
-	cdc  codec.Codec
+	cfg ClientConfig
+	tr  transport
+	cdc codec.Codec
 
 	// memcache is sharded so concurrent cached reads contend per shard,
 	// not on one global mutex.
@@ -72,8 +93,7 @@ type Client struct {
 
 	mu      sync.Mutex
 	offline bool
-	pending []pendingWrite
-	seq     int64
+	queue   *writeQueue
 
 	stats struct {
 		remoteGets, remotePuts, cacheHits, offlineWrites, syncedWrites, bytesSent int64
@@ -89,10 +109,15 @@ func NewClient(cfg ClientConfig) *Client {
 	if cdc == nil {
 		cdc = codec.Identity{}
 	}
+	maxPending := cfg.MaxPending
+	if maxPending == 0 {
+		maxPending = DefaultMaxPending
+	}
 	c := &Client{
-		cfg:  cfg,
-		http: &http.Client{Timeout: cfg.Timeout},
-		cdc:  cdc,
+		cfg:   cfg,
+		tr:    transport{base: cfg.BaseURL, http: &http.Client{Timeout: cfg.Timeout}},
+		cdc:   cdc,
+		queue: newWriteQueue(maxPending),
 	}
 	if cfg.CacheSize > 0 {
 		c.memcache = cache.NewSharded[[]byte](cfg.CacheSize, cache.WithTTL(cfg.CacheTTL))
@@ -126,6 +151,7 @@ func (c *Client) Stats() Stats {
 		CacheHits:     c.stats.cacheHits,
 		OfflineWrites: c.stats.offlineWrites,
 		SyncedWrites:  c.stats.syncedWrites,
+		DroppedWrites: c.queue.dropped,
 		BytesSent:     c.stats.bytesSent,
 	}
 }
@@ -134,12 +160,17 @@ func (c *Client) Stats() Stats {
 func (c *Client) PendingWrites() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.pending)
+	return c.queue.len()
 }
 
 // Put stores value under key: encoded via the codec, mirrored to local
 // storage, cached, and sent to the remote store — or queued if offline.
 func (c *Client) Put(key string, value []byte) error {
+	return c.PutCtx(context.Background(), key, value)
+}
+
+// PutCtx is Put with cancellation of the in-flight upload.
+func (c *Client) PutCtx(ctx context.Context, key string, value []byte) error {
 	encoded, err := c.cdc.Encode(value)
 	if err != nil {
 		return fmt.Errorf("remotestore: encode: %w", err)
@@ -158,7 +189,7 @@ func (c *Client) Put(key string, value []byte) error {
 		c.queueWrite(key, encoded, false)
 		return nil
 	}
-	if err := c.remotePut(key, encoded); err != nil {
+	if err := c.remotePut(ctx, key, encoded); err != nil {
 		if isTransport(err) {
 			c.SetOffline(true)
 			c.queueWrite(key, encoded, false)
@@ -172,6 +203,11 @@ func (c *Client) Put(key string, value []byte) error {
 // Get returns the value for key: from the client cache, then the remote
 // store, then (offline) the local mirror.
 func (c *Client) Get(key string) ([]byte, error) {
+	return c.GetCtx(context.Background(), key)
+}
+
+// GetCtx is Get with cancellation of the in-flight download.
+func (c *Client) GetCtx(ctx context.Context, key string) ([]byte, error) {
 	if c.memcache != nil {
 		if v, err := c.memcache.Get(key); err == nil {
 			c.mu.Lock()
@@ -183,7 +219,7 @@ func (c *Client) Get(key string) ([]byte, error) {
 		}
 	}
 	if !c.Offline() {
-		encoded, err := c.remoteGet(key)
+		encoded, err := c.remoteGet(ctx, key)
 		switch {
 		case err == nil:
 			value, err := c.cdc.Decode(encoded)
@@ -225,6 +261,11 @@ func (c *Client) Get(key string) ([]byte, error) {
 // Delete removes key remotely (or queues the delete while offline) and
 // drops it from the cache and local mirror.
 func (c *Client) Delete(key string) error {
+	return c.DeleteCtx(context.Background(), key)
+}
+
+// DeleteCtx is Delete with cancellation of the in-flight request.
+func (c *Client) DeleteCtx(ctx context.Context, key string) error {
 	if c.memcache != nil {
 		c.memcache.Delete(key)
 	}
@@ -237,7 +278,7 @@ func (c *Client) Delete(key string) error {
 		c.queueWrite(key, nil, true)
 		return nil
 	}
-	if err := c.remoteDelete(key); err != nil {
+	if err := c.remoteDelete(ctx, key); err != nil {
 		if isTransport(err) {
 			c.SetOffline(true)
 			c.queueWrite(key, nil, true)
@@ -249,43 +290,38 @@ func (c *Client) Delete(key string) error {
 }
 
 // Sync marks the client online and flushes queued writes in sequence
-// order, collapsing superseded writes to the same key (last writer wins).
-// It returns how many operations were pushed.
+// order. The queue coalesces writes per key as they are enqueued (last
+// writer wins), so every drained entry is live. It returns how many
+// operations were pushed.
 func (c *Client) Sync() (int, error) {
+	return c.SyncCtx(context.Background())
+}
+
+// SyncCtx is Sync with cancellation: a cancelled context interrupts the
+// replay, requeues the remainder, and puts the client back offline.
+func (c *Client) SyncCtx(ctx context.Context) (int, error) {
 	c.mu.Lock()
 	c.offline = false
-	pending := c.pending
-	c.pending = nil
+	ordered := c.queue.drain()
 	c.mu.Unlock()
-	if len(pending) == 0 {
+	if len(ordered) == 0 {
 		return 0, nil
 	}
-	// Last write per key wins.
-	latest := make(map[string]pendingWrite, len(pending))
-	for _, w := range pending {
-		cur, ok := latest[w.key]
-		if !ok || w.seq > cur.seq {
-			latest[w.key] = w
-		}
-	}
-	ordered := make([]pendingWrite, 0, len(latest))
-	for _, w := range latest {
-		ordered = append(ordered, w)
-	}
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].seq < ordered[j].seq })
 	pushed := 0
 	for i, w := range ordered {
-		var err error
-		if w.delete {
-			err = c.remoteDelete(w.key)
-		} else {
-			err = c.remotePut(w.key, w.value)
+		err := ctx.Err()
+		if err == nil {
+			if w.delete {
+				err = c.remoteDelete(ctx, w.key)
+			} else {
+				err = c.remotePut(ctx, w.key, w.value)
+			}
 		}
 		if err != nil {
 			// Requeue what has not been pushed and go back offline.
 			c.mu.Lock()
 			c.offline = true
-			c.pending = append(ordered[i:], c.pending...)
+			c.queue.requeue(ordered[i:])
 			c.mu.Unlock()
 			return pushed, fmt.Errorf("remotestore: sync interrupted: %w", err)
 		}
@@ -299,26 +335,26 @@ func (c *Client) Sync() (int, error) {
 
 // Keys lists the remote store's keys (requires connectivity).
 func (c *Client) Keys() ([]string, error) {
+	return c.KeysCtx(context.Background())
+}
+
+// KeysCtx is Keys with cancellation of the in-flight request.
+func (c *Client) KeysCtx(ctx context.Context) ([]string, error) {
 	if c.Offline() {
 		if c.cfg.Local != nil {
 			return c.cfg.Local.Keys()
 		}
 		return nil, ErrOffline
 	}
-	resp, err := c.http.Get(c.cfg.BaseURL + "/keys")
+	keys, err := c.tr.keys(ctx)
 	if err != nil {
-		c.SetOffline(true)
-		if c.cfg.Local != nil {
-			return c.cfg.Local.Keys()
+		if isTransport(err) {
+			c.SetOffline(true)
+			if c.cfg.Local != nil {
+				return c.cfg.Local.Keys()
+			}
+			return nil, fmt.Errorf("remotestore: %w: %v", ErrOffline, err)
 		}
-		return nil, fmt.Errorf("remotestore: %w: %v", ErrOffline, err)
-	}
-	defer drain(resp)
-	if resp.StatusCode != http.StatusOK {
-		return nil, &remoteError{status: resp.StatusCode, msg: "keys"}
-	}
-	var keys []string
-	if err := jsonDecode(resp.Body, &keys); err != nil {
 		return nil, err
 	}
 	return keys, nil
@@ -327,26 +363,13 @@ func (c *Client) Keys() ([]string, error) {
 func (c *Client) queueWrite(key string, encoded []byte, del bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.seq++
-	c.pending = append(c.pending, pendingWrite{key: key, value: encoded, seq: c.seq, delete: del})
+	c.queue.push(key, encoded, del)
 	c.stats.offlineWrites++
 }
 
-func (c *Client) remotePut(key string, encoded []byte) error {
-	req, err := http.NewRequest(http.MethodPut, c.cfg.BaseURL+"/kv/"+key, bytes.NewReader(encoded))
-	if err != nil {
-		return fmt.Errorf("remotestore: build put: %w", err)
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return &transportError{err}
-	}
-	defer drain(resp)
-	if resp.StatusCode != http.StatusNoContent {
-		if resp.StatusCode == http.StatusServiceUnavailable {
-			return &transportError{&remoteError{status: resp.StatusCode, msg: "put"}}
-		}
-		return &remoteError{status: resp.StatusCode, msg: "put"}
+func (c *Client) remotePut(ctx context.Context, key string, encoded []byte) error {
+	if err := c.tr.put(ctx, key, encoded); err != nil {
+		return err
 	}
 	c.mu.Lock()
 	c.stats.remotePuts++
@@ -355,24 +378,10 @@ func (c *Client) remotePut(key string, encoded []byte) error {
 	return nil
 }
 
-func (c *Client) remoteGet(key string) ([]byte, error) {
-	resp, err := c.http.Get(c.cfg.BaseURL + "/kv/" + key)
+func (c *Client) remoteGet(ctx context.Context, key string) ([]byte, error) {
+	data, err := c.tr.get(ctx, key)
 	if err != nil {
-		return nil, &transportError{err}
-	}
-	defer drain(resp)
-	switch resp.StatusCode {
-	case http.StatusOK:
-	case http.StatusNotFound:
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
-	case http.StatusServiceUnavailable:
-		return nil, &transportError{&remoteError{status: resp.StatusCode, msg: "get"}}
-	default:
-		return nil, &remoteError{status: resp.StatusCode, msg: "get"}
-	}
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, fmt.Errorf("remotestore: read body: %w", err)
+		return nil, err
 	}
 	c.mu.Lock()
 	c.stats.remoteGets++
@@ -380,45 +389,6 @@ func (c *Client) remoteGet(key string) ([]byte, error) {
 	return data, nil
 }
 
-func (c *Client) remoteDelete(key string) error {
-	req, err := http.NewRequest(http.MethodDelete, c.cfg.BaseURL+"/kv/"+key, nil)
-	if err != nil {
-		return fmt.Errorf("remotestore: build delete: %w", err)
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return &transportError{err}
-	}
-	defer drain(resp)
-	if resp.StatusCode != http.StatusNoContent {
-		if resp.StatusCode == http.StatusServiceUnavailable {
-			return &transportError{&remoteError{status: resp.StatusCode, msg: "delete"}}
-		}
-		return &remoteError{status: resp.StatusCode, msg: "delete"}
-	}
-	return nil
-}
-
-// transportError marks failures that indicate lost connectivity (as opposed
-// to application errors like 404).
-type transportError struct{ err error }
-
-func (t *transportError) Error() string { return "remotestore: transport: " + t.err.Error() }
-func (t *transportError) Unwrap() error { return t.err }
-
-func isTransport(err error) bool {
-	var te *transportError
-	return errors.As(err, &te)
-}
-
-func drain(resp *http.Response) {
-	_, _ = io.Copy(io.Discard, resp.Body)
-	_ = resp.Body.Close()
-}
-
-func jsonDecode(r io.Reader, v any) error {
-	if err := json.NewDecoder(io.LimitReader(r, 16<<20)).Decode(v); err != nil {
-		return fmt.Errorf("remotestore: decode: %w", err)
-	}
-	return nil
+func (c *Client) remoteDelete(ctx context.Context, key string) error {
+	return c.tr.del(ctx, key)
 }

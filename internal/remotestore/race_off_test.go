@@ -1,0 +1,7 @@
+//go:build !race
+
+package remotestore
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// guards skip under it because instrumentation distorts relative costs.
+const raceEnabled = false

@@ -134,8 +134,13 @@ func TestOfflineWritesQueueAndSync(t *testing.T) {
 			t.Fatalf("offline put %d: %v", i, err)
 		}
 	}
-	if got := c.PendingWrites(); got != 3 {
-		t.Errorf("PendingWrites = %d, want 3", got)
+	// The queue coalesces per key at enqueue time, so the second write to
+	// "a" replaced the first instead of appending.
+	if got := c.PendingWrites(); got != 2 {
+		t.Errorf("PendingWrites = %d, want 2", got)
+	}
+	if got := c.Stats().OfflineWrites; got != 3 {
+		t.Errorf("OfflineWrites = %d, want 3", got)
 	}
 	if srv.Requests() != 0 {
 		t.Errorf("server saw %d requests while offline", srv.Requests())
@@ -149,7 +154,7 @@ func TestOfflineWritesQueueAndSync(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Last-writer-wins collapses the two writes to "a".
+	// Per-key coalescing collapsed the two writes to "a".
 	if pushed != 2 {
 		t.Errorf("pushed = %d, want 2", pushed)
 	}

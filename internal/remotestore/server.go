@@ -39,6 +39,7 @@ const DefaultMaxObjectBytes = 64 << 20
 type Server struct {
 	store    kvstore.Store
 	maxBytes int64
+	sem      chan struct{} // nil means unlimited concurrency
 
 	mu        sync.Mutex // guards the chaos knobs and their shared RNG
 	latency   time.Duration
@@ -64,6 +65,19 @@ func WithMaxBytes(n int64) ServerOption {
 // scripted 5xx bursts are reproducible run to run.
 func WithSeed(seed int64) ServerOption {
 	return func(s *Server) { s.rng = xrand.New(seed) }
+}
+
+// WithCapacity bounds how many requests the node serves concurrently;
+// excess requests queue (respecting the request context) rather than fail.
+// Real store nodes have finite worker pools — modelling that is what makes
+// aggregate throughput grow with node count in the sharding experiments
+// instead of one in-process node absorbing unlimited parallelism.
+func WithCapacity(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.sem = make(chan struct{}, n)
+		}
+	}
 }
 
 // NewServer wraps store as a cloud store. A nil store gets a fresh
@@ -126,6 +140,14 @@ func (s *Server) Handler() http.Handler {
 	wrap := func(fn http.HandlerFunc) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
 			s.requests.Add(1)
+			if s.sem != nil {
+				select {
+				case s.sem <- struct{}{}:
+					defer func() { <-s.sem }()
+				case <-r.Context().Done():
+					return
+				}
+			}
 			s.mu.Lock()
 			lat, down := s.latency, s.down
 			fail := s.failRate > 0 && s.rng.Bernoulli(s.failRate)
